@@ -1,0 +1,378 @@
+package lsnuma
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (Section 5). Each benchmark runs the corresponding experiment
+// and reports the paper's quantities as custom metrics:
+//
+//   - sim-cycles:     simulated execution time (Figures 3, 4, 6, 7 left)
+//   - exec-vs-base:   normalized execution time, Baseline = 100
+//   - traffic-vs-base: normalized traffic (middle panels)
+//   - rdmiss-vs-base: normalized global read misses (right panels)
+//
+// Benchmarks default to the test problem scale so `go test -bench=.`
+// finishes quickly; set -scale in cmd/lsreport for paper-scale runs.
+// EXPERIMENTS.md records paper-vs-measured for every artifact.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchScale returns the problem scale used by the benchmarks.
+func benchScale() Scale { return ScaleTest }
+
+// runOnce runs one configuration, failing the benchmark on error.
+func runOnce(b *testing.B, cfg Config, workload string) *Result {
+	b.Helper()
+	res, err := Run(cfg, workload, benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// benchBehavior regenerates one behaviour figure: it benchmarks each
+// protocol as a sub-benchmark and reports the normalized panels.
+func benchBehavior(b *testing.B, cfg Config, workload string) {
+	base, err := func() (*Result, error) {
+		c := cfg
+		c.Protocol = Baseline
+		return Run(c, workload, benchScale())
+	}()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range Protocols() {
+		b.Run(string(p), func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.Protocol = p
+				res = runOnce(b, c, workload)
+			}
+			b.ReportMetric(float64(res.ExecTime), "sim-cycles")
+			b.ReportMetric(100*float64(res.ExecTime)/float64(base.ExecTime), "exec-vs-base")
+			b.ReportMetric(100*float64(res.Msgs)/float64(base.Msgs), "traffic-vs-base")
+			b.ReportMetric(100*float64(res.GlobalReadMisses())/float64(base.GlobalReadMisses()), "rdmiss-vs-base")
+			b.ReportMetric(float64(res.EliminatedOwnership), "eliminated")
+		})
+	}
+}
+
+// BenchmarkFig3MP3D regenerates Figure 3 (paper: exec 100/83/77, traffic
+// 100/83/76, read misses 100/105/104).
+func BenchmarkFig3MP3D(b *testing.B) {
+	benchBehavior(b, DefaultConfig(), "mp3d")
+}
+
+// BenchmarkFig4Cholesky regenerates Figure 4 (paper: exec 100/100/69 — AD
+// removes nothing at four processors, LS cuts 30 %).
+func BenchmarkFig4Cholesky(b *testing.B) {
+	benchBehavior(b, DefaultConfig(), "cholesky")
+}
+
+// BenchmarkFig6LU regenerates Figure 6 (paper: exec 100/94/84, write
+// stall −50 % under AD and −85 % under LS).
+func BenchmarkFig6LU(b *testing.B) {
+	benchBehavior(b, DefaultConfig(), "lu")
+}
+
+// BenchmarkFig7OLTP regenerates Figure 7 (paper: exec 100/95/87, traffic
+// −6 %/−15 %, read misses +8 % under LS).
+func BenchmarkFig7OLTP(b *testing.B) {
+	benchBehavior(b, OLTPConfig(), "oltp")
+}
+
+// BenchmarkFig5CholeskyScaling regenerates Figure 5: invalidation traffic
+// for Cholesky at 4, 16 and 32 processors. The paper's trend: individual
+// invalidations are ~0 % of the invalidation traffic at 4 processors, 16 %
+// at 16 and 29 % at 32.
+func BenchmarkFig5CholeskyScaling(b *testing.B) {
+	for _, nodes := range []int{4, 16, 32} {
+		b.Run(fmt.Sprintf("procs-%d", nodes), func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig()
+				cfg.Nodes = nodes
+				res = runOnce(b, cfg, "cholesky")
+			}
+			total := res.GlobalInv + res.Invalidations
+			b.ReportMetric(float64(res.GlobalInv), "global-invs")
+			b.ReportMetric(float64(res.Invalidations), "invalidations")
+			if total > 0 {
+				b.ReportMetric(100*float64(res.Invalidations)/float64(total), "inv-share-%")
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Sequences regenerates Table 2: the occurrence of
+// load-store sequences (paper: 42 % of global writes) and the migratory
+// share of them (paper: 47 %), split by source class.
+func BenchmarkTable2Sequences(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		cfg := OLTPConfig()
+		cfg.Protocol = Baseline
+		res = runOnce(b, cfg, "oltp")
+	}
+	b.ReportMetric(100*res.Total.LoadStoreFrac, "ls-frac-%")
+	b.ReportMetric(100*res.Total.MigratoryFrac, "mig-frac-%")
+	b.ReportMetric(100*res.Sources[0].LoadStoreFrac, "app-ls-%")
+	b.ReportMetric(100*res.Sources[1].LoadStoreFrac, "lib-ls-%")
+	b.ReportMetric(100*res.Sources[2].LoadStoreFrac, "os-ls-%")
+	b.ReportMetric(res.InvalidationsPerGlobalWrite, "inv-per-shared-write")
+}
+
+// BenchmarkTable3Coverage regenerates Table 3: the fraction of load-store
+// (and migratory) global writes each technique removes (paper: LS
+// 57.6 %/100 %, AD 31.7 %/47.6 %).
+func BenchmarkTable3Coverage(b *testing.B) {
+	for _, p := range []Protocol{LS, AD} {
+		b.Run(string(p), func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				cfg := OLTPConfig()
+				cfg.Protocol = p
+				res = runOnce(b, cfg, "oltp")
+			}
+			b.ReportMetric(100*res.Coverage.LoadStoreCoverage, "ls-coverage-%")
+			b.ReportMetric(100*res.Coverage.MigratoryCoverage, "mig-coverage-%")
+		})
+	}
+}
+
+// BenchmarkTable4FalseSharing regenerates Table 4: the fraction of data
+// misses due to false sharing per block size (paper: 19.9 % at 16 B up to
+// 48.5 % at 256 B; steady-state metric, cold misses excluded).
+func BenchmarkTable4FalseSharing(b *testing.B) {
+	for _, block := range []uint64{16, 32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("block-%dB", block), func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				cfg := OLTPConfig()
+				cfg.Protocol = Baseline
+				cfg.BlockSize = block
+				cfg.TrackFalseSharing = true
+				res = runOnce(b, cfg, "oltp")
+			}
+			b.ReportMetric(100*res.FalseSharingSteadyFrac, "false-sharing-%")
+			b.ReportMetric(100*res.FalseSharingFrac, "false-sharing-incl-cold-%")
+		})
+	}
+}
+
+// BenchmarkAblationDefaultTag regenerates the §5.5 default-tagging
+// analysis (paper: MP3D benefits only a little, others unaffected).
+func BenchmarkAblationDefaultTag(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		variant Variant
+	}{
+		{"plain", Variant{}},
+		{"default-tagged", Variant{DefaultTagged: true}},
+	} {
+		for _, p := range []Protocol{AD, LS} {
+			b.Run(fmt.Sprintf("%s/%s", p, v.name), func(b *testing.B) {
+				var res *Result
+				for i := 0; i < b.N; i++ {
+					cfg := DefaultConfig()
+					cfg.Protocol = p
+					cfg.Variant = v.variant
+					res = runOnce(b, cfg, "mp3d")
+				}
+				b.ReportMetric(float64(res.ExecTime), "sim-cycles")
+				b.ReportMetric(float64(res.GlobalReadMisses()), "read-misses")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationKeepHeuristic regenerates the §5.5 alternative de-tag
+// heuristic (paper: no noticeable improvement).
+func BenchmarkAblationKeepHeuristic(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		variant Variant
+	}{
+		{"plain", Variant{}},
+		{"keep-on-write-miss", Variant{KeepOnWriteMiss: true}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				cfg := OLTPConfig()
+				cfg.Protocol = LS
+				cfg.Variant = v.variant
+				res = runOnce(b, cfg, "oltp")
+			}
+			b.ReportMetric(float64(res.ExecTime), "sim-cycles")
+			b.ReportMetric(float64(res.Msgs), "messages")
+			b.ReportMetric(float64(res.GlobalReadMisses()), "read-misses")
+		})
+	}
+}
+
+// BenchmarkAblationHysteresis regenerates the §5.5 hysteresis analysis
+// (paper: tag hysteresis does not help; de-tag hysteresis dramatically
+// increases read misses).
+func BenchmarkAblationHysteresis(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		variant Variant
+	}{
+		{"plain", Variant{}},
+		{"tag-hysteresis", Variant{TagHysteresis: 2}},
+		{"detag-hysteresis", Variant{DetagHysteresis: 2}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				cfg := OLTPConfig()
+				cfg.Protocol = LS
+				cfg.Variant = v.variant
+				res = runOnce(b, cfg, "oltp")
+			}
+			b.ReportMetric(float64(res.ExecTime), "sim-cycles")
+			b.ReportMetric(float64(res.GlobalReadMisses()), "read-misses")
+		})
+	}
+}
+
+// BenchmarkVariationSweep samples the Table 1 parameter space (the
+// paper's "variation analysis have been made for all applications"):
+// block-size variation for MP3D under LS.
+func BenchmarkVariationSweep(b *testing.B) {
+	for _, block := range []uint64{16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("block-%dB", block), func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig()
+				cfg.Protocol = LS
+				cfg.BlockSize = block
+				res = runOnce(b, cfg, "mp3d")
+			}
+			b.ReportMetric(float64(res.ExecTime), "sim-cycles")
+			b.ReportMetric(float64(res.Bytes), "traffic-bytes")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the simulator itself: simulated
+// memory operations per wall-clock second on the MP3D workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var ops uint64
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Protocol = LS
+		res := runOnce(b, cfg, "mp3d")
+		ops += res.Loads + res.Stores
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "sim-ops/s")
+}
+
+// BenchmarkStaticVsDynamic compares the static software technique (EX:
+// compiler-annotated exclusive loads, §2.1/§6) with the dynamic hardware
+// techniques. The paper's finding: the static approach achieves high
+// coverage on the scientific codes but struggles on OLTP, where the
+// load-store sites are spread through application, library and OS code
+// that static analysis cannot annotate.
+func BenchmarkStaticVsDynamic(b *testing.B) {
+	for _, workload := range []string{"cholesky", "oltp"} {
+		cfg := DefaultConfig()
+		if workload == "oltp" {
+			cfg = OLTPConfig()
+		}
+		for _, p := range []Protocol{Baseline, EX, LS} {
+			b.Run(fmt.Sprintf("%s/%s", workload, p), func(b *testing.B) {
+				var res *Result
+				for i := 0; i < b.N; i++ {
+					c := cfg
+					c.Protocol = p
+					res = runOnce(b, c, workload)
+				}
+				b.ReportMetric(float64(res.ExecTime), "sim-cycles")
+				b.ReportMetric(float64(res.WriteStall), "write-stall")
+				b.ReportMetric(100*res.Coverage.LoadStoreCoverage, "ls-coverage-%")
+			})
+		}
+	}
+}
+
+// BenchmarkRelaxedConsistency runs the Section 6 discussion as an
+// experiment: under a write-buffer (relaxed) model the write-stall savings
+// of LS shrink, but its traffic savings persist.
+func BenchmarkRelaxedConsistency(b *testing.B) {
+	for _, relaxed := range []bool{false, true} {
+		name := "SC"
+		if relaxed {
+			name = "relaxed"
+		}
+		for _, p := range []Protocol{Baseline, LS} {
+			b.Run(fmt.Sprintf("%s/%s", name, p), func(b *testing.B) {
+				var res *Result
+				for i := 0; i < b.N; i++ {
+					cfg := DefaultConfig()
+					cfg.Protocol = p
+					cfg.RelaxedWrites = relaxed
+					res = runOnce(b, cfg, "mp3d")
+				}
+				b.ReportMetric(float64(res.ExecTime), "sim-cycles")
+				b.ReportMetric(float64(res.WriteStall), "write-stall")
+				b.ReportMetric(float64(res.Bytes), "traffic-bytes")
+			})
+		}
+	}
+}
+
+// BenchmarkSequenceDistance measures the read-to-write distance
+// distribution of load-store sequences: the paper attributes the static
+// techniques' weak OLTP coverage to loads and stores being far apart; the
+// scientific kernels' sequences are tight, OLTP's are spread out.
+func BenchmarkSequenceDistance(b *testing.B) {
+	for _, workload := range []string{"mp3d", "oltp"} {
+		b.Run(workload, func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig()
+				if workload == "oltp" {
+					cfg = OLTPConfig()
+				}
+				cfg.Protocol = Baseline
+				res = runOnce(b, cfg, workload)
+			}
+			var total uint64
+			for _, v := range res.SequenceDistance {
+				total += v
+			}
+			if total > 0 {
+				b.ReportMetric(100*float64(res.SequenceDistance[0])/float64(total), "dist0-%")
+				far := res.SequenceDistance[3] + res.SequenceDistance[4] + res.SequenceDistance[5]
+				b.ReportMetric(100*float64(far)/float64(total), "dist16plus-%")
+			}
+		})
+	}
+}
+
+// BenchmarkLockHandoff measures contended lock handoff under each
+// protocol: the lock word and the data it protects are the archetypal
+// migratory objects (the paper's §5.4 notes spin locks "have a potential
+// for completing faster" under both AD and LS).
+func BenchmarkLockHandoff(b *testing.B) {
+	for _, p := range Protocols() {
+		b.Run(string(p), func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig()
+				cfg.Protocol = p
+				var err error
+				res, err = RunPrograms(cfg, "lock-handoff", lockHandoffBuild)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.ExecTime), "sim-cycles")
+			b.ReportMetric(float64(res.Msgs), "messages")
+		})
+	}
+}

@@ -1,0 +1,183 @@
+// Command lsreport regenerates the paper's evaluation artifacts: the
+// behaviour figures (3, 4, 6, 7), the invalidation-traffic figure (5) and
+// Tables 2-4, plus the Section 5.5 ablations.
+//
+// Usage:
+//
+//	lsreport -all -scale small          # everything the paper reports
+//	lsreport -fig 3                      # MP3D behaviour figure
+//	lsreport -fig 5                      # Cholesky at 4/16/32 processors
+//	lsreport -table 4                    # false sharing vs block size
+//	lsreport -ablations                  # §5.5 variants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lsnuma"
+	"lsnuma/internal/report"
+)
+
+var scaleFlag = flag.String("scale", "test", "problem size: test, small, paper")
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "regenerate figure 3, 4, 5, 6 or 7")
+		table     = flag.Int("table", 0, "regenerate table 2, 3 or 4")
+		ablations = flag.Bool("ablations", false, "run the §5.5 ablation variants")
+		all       = flag.Bool("all", false, "regenerate every figure and table")
+	)
+	flag.Parse()
+
+	if *all {
+		for _, f := range []int{3, 4, 5, 6, 7} {
+			figure(f)
+		}
+		for _, tb := range []int{2, 3, 4} {
+			tableOut(tb)
+		}
+		runAblations()
+		return
+	}
+	ran := false
+	if *fig != 0 {
+		figure(*fig)
+		ran = true
+	}
+	if *table != 0 {
+		tableOut(*table)
+		ran = true
+	}
+	if *ablations {
+		runAblations()
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func scale() lsnuma.Scale {
+	switch *scaleFlag {
+	case "test":
+		return lsnuma.ScaleTest
+	case "small":
+		return lsnuma.ScaleSmall
+	case "paper":
+		return lsnuma.ScalePaper
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleFlag))
+		return 0
+	}
+}
+
+func compare(cfg lsnuma.Config, workload string) map[lsnuma.Protocol]*lsnuma.Result {
+	res, err := lsnuma.Compare(cfg, workload, scale())
+	if err != nil {
+		fatal(err)
+	}
+	return res
+}
+
+func figure(n int) {
+	switch n {
+	case 3:
+		fmt.Println(report.BehaviorFigure("Figure 3: Behavior of MP3D",
+			compare(lsnuma.DefaultConfig(), "mp3d")))
+	case 4:
+		fmt.Println(report.BehaviorFigure("Figure 4: Behavior of Cholesky",
+			compare(lsnuma.DefaultConfig(), "cholesky")))
+	case 5:
+		byProcs := map[int]map[lsnuma.Protocol]*lsnuma.Result{}
+		for _, nodes := range []int{4, 16, 32} {
+			cfg := lsnuma.DefaultConfig()
+			cfg.Nodes = nodes
+			byProcs[nodes] = compare(cfg, "cholesky")
+		}
+		fmt.Println(report.InvalidationFigure(
+			"Figure 5: Invalidation traffic for Cholesky at 4, 16, and 32 processors", byProcs))
+	case 6:
+		fmt.Println(report.BehaviorFigure("Figure 6: Behavior of LU",
+			compare(lsnuma.DefaultConfig(), "lu")))
+	case 7:
+		fmt.Println(report.BehaviorFigure("Figure 7: Behavior of OLTP",
+			compare(lsnuma.OLTPConfig(), "oltp")))
+	default:
+		fatal(fmt.Errorf("no figure %d (have 3, 4, 5, 6, 7)", n))
+	}
+}
+
+func tableOut(n int) {
+	switch n {
+	case 2:
+		cfg := lsnuma.OLTPConfig()
+		cfg.Protocol = lsnuma.Baseline
+		res, err := lsnuma.Run(cfg, "oltp", scale())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.Table2(res))
+	case 3:
+		res := compare(lsnuma.OLTPConfig(), "oltp")
+		fmt.Println(report.Table3(res[lsnuma.LS], res[lsnuma.AD]))
+	case 4:
+		byBlock := map[uint64]*lsnuma.Result{}
+		for _, block := range []uint64{16, 32, 64, 128, 256} {
+			cfg := lsnuma.OLTPConfig()
+			cfg.Protocol = lsnuma.Baseline
+			cfg.BlockSize = block
+			cfg.TrackFalseSharing = true
+			res, err := lsnuma.Run(cfg, "oltp", scale())
+			if err != nil {
+				fatal(err)
+			}
+			byBlock[block] = res
+		}
+		fmt.Println(report.Table4(byBlock))
+	default:
+		fatal(fmt.Errorf("no table %d (have 2, 3, 4)", n))
+	}
+}
+
+// runAblations reproduces the §5.5 variation analysis: default tagging,
+// the keep-on-write-miss de-tag heuristic, and two-step hysteresis.
+func runAblations() {
+	fmt.Println("=== §5.5 ablations (execution time / total traffic / global read misses) ===")
+	type variantCase struct {
+		name     string
+		workload string
+		cfg      lsnuma.Config
+		variant  lsnuma.Variant
+		protocol lsnuma.Protocol
+	}
+	cases := []variantCase{
+		{"LS plain (mp3d)", "mp3d", lsnuma.DefaultConfig(), lsnuma.Variant{}, lsnuma.LS},
+		{"LS default-tagged (mp3d)", "mp3d", lsnuma.DefaultConfig(), lsnuma.Variant{DefaultTagged: true}, lsnuma.LS},
+		{"AD plain (mp3d)", "mp3d", lsnuma.DefaultConfig(), lsnuma.Variant{}, lsnuma.AD},
+		{"AD default-tagged (mp3d)", "mp3d", lsnuma.DefaultConfig(), lsnuma.Variant{DefaultTagged: true}, lsnuma.AD},
+		{"LS plain (oltp)", "oltp", lsnuma.OLTPConfig(), lsnuma.Variant{}, lsnuma.LS},
+		{"LS default-tagged (oltp)", "oltp", lsnuma.OLTPConfig(), lsnuma.Variant{DefaultTagged: true}, lsnuma.LS},
+		{"LS keep-on-write-miss (oltp)", "oltp", lsnuma.OLTPConfig(), lsnuma.Variant{KeepOnWriteMiss: true}, lsnuma.LS},
+		{"LS tag-hysteresis=2 (oltp)", "oltp", lsnuma.OLTPConfig(), lsnuma.Variant{TagHysteresis: 2}, lsnuma.LS},
+		{"LS detag-hysteresis=2 (oltp)", "oltp", lsnuma.OLTPConfig(), lsnuma.Variant{DetagHysteresis: 2}, lsnuma.LS},
+	}
+	for _, c := range cases {
+		cfg := c.cfg
+		cfg.Protocol = c.protocol
+		cfg.Variant = c.variant
+		res, err := lsnuma.Run(cfg, c.workload, scale())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-32s exec=%-10d msgs=%-8d read-misses=%-8d eliminated=%d\n",
+			c.name, res.ExecTime, res.Msgs, res.GlobalReadMisses(), res.EliminatedOwnership)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command lssweep runs the paper's variation analysis (Section 5.5 and the
+// Table 1 parameter space): cache-size and block-size sweeps for a
+// workload under every protocol, printing one summary line per point.
+//
+// Usage:
+//
+//	lssweep -workload mp3d -sweep block
+//	lssweep -workload oltp -sweep l2
+//	lssweep -workload cholesky -sweep nodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lsnuma"
+	"lsnuma/internal/report"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "mp3d", "workload: mp3d, cholesky, lu, oltp")
+		sweep        = flag.String("sweep", "block", "parameter to sweep: block, l1, l2, nodes")
+		scaleName    = flag.String("scale", "test", "problem size: test, small, paper")
+	)
+	flag.Parse()
+
+	var scale lsnuma.Scale
+	switch *scaleName {
+	case "test":
+		scale = lsnuma.ScaleTest
+	case "small":
+		scale = lsnuma.ScaleSmall
+	case "paper":
+		scale = lsnuma.ScalePaper
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+
+	base := lsnuma.DefaultConfig()
+	if *workloadName == "oltp" {
+		base = lsnuma.OLTPConfig()
+	}
+
+	type point struct {
+		label string
+		cfg   lsnuma.Config
+	}
+	var points []point
+	switch *sweep {
+	case "block":
+		// Table 1: block sizes 16..128 (OLTP's Table 4 also uses 256).
+		for _, b := range []uint64{16, 32, 64, 128} {
+			cfg := base
+			cfg.BlockSize = b
+			points = append(points, point{fmt.Sprintf("block=%dB", b), cfg})
+		}
+	case "l1":
+		// Table 1: L1 sizes 4..64 kB.
+		for _, kb := range []uint64{4, 16, 32, 64} {
+			cfg := base
+			cfg.L1.Size = kb * 1024
+			points = append(points, point{fmt.Sprintf("l1=%dkB", kb), cfg})
+		}
+	case "l2":
+		// Table 1: L2 sizes 64 kB..2 MB.
+		for _, kb := range []uint64{64, 512, 1024, 2048} {
+			cfg := base
+			cfg.L2.Size = kb * 1024
+			if cfg.L1.Size > cfg.L2.Size {
+				cfg.L1.Size = cfg.L2.Size / 2
+			}
+			points = append(points, point{fmt.Sprintf("l2=%dkB", kb), cfg})
+		}
+	case "nodes":
+		for _, n := range []int{2, 4, 8, 16, 32} {
+			cfg := base
+			cfg.Nodes = n
+			points = append(points, point{fmt.Sprintf("nodes=%d", n), cfg})
+		}
+	default:
+		fatal(fmt.Errorf("unknown sweep %q (want block, l1, l2, nodes)", *sweep))
+	}
+
+	for _, pt := range points {
+		results, err := lsnuma.Compare(pt.cfg, *workloadName, scale)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", pt.label, err))
+		}
+		base := results[lsnuma.Baseline]
+		fmt.Printf("%s:\n", pt.label)
+		for _, p := range lsnuma.Protocols() {
+			r := results[p]
+			fmt.Printf("  %s\n", report.Summary(r))
+			if p != lsnuma.Baseline && base.ExecTime > 0 {
+				fmt.Printf("    normalized: exec=%.1f traffic=%.1f read-misses=%.1f\n",
+					100*float64(r.ExecTime)/float64(base.ExecTime),
+					100*float64(r.Bytes)/float64(base.Bytes),
+					100*float64(r.GlobalReadMisses())/float64(base.GlobalReadMisses()))
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lssweep:", err)
+	os.Exit(1)
+}

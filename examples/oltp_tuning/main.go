@@ -1,0 +1,52 @@
+// oltp_tuning explores how the LS protocol's OLTP win depends on the
+// memory-system parameters: it sweeps the cache block size (the paper's
+// Table 4 false-sharing axis) and the L2 size, printing the LS and AD
+// improvements at each point — the kind of variation analysis the paper
+// reports in Section 5.5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lsnuma"
+)
+
+func main() {
+	fmt.Println("OLTP: LS/AD improvement vs block size (test scale)")
+	fmt.Printf("%-8s %12s %12s %14s %16s\n", "block", "AD exec", "LS exec", "LS traffic", "false sharing")
+	for _, block := range []uint64{16, 32, 64, 128} {
+		cfg := lsnuma.OLTPConfig()
+		cfg.BlockSize = block
+		cfg.TrackFalseSharing = true
+
+		results, err := lsnuma.Compare(cfg, "oltp", lsnuma.ScaleTest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, ad, ls := results[lsnuma.Baseline], results[lsnuma.AD], results[lsnuma.LS]
+		fmt.Printf("%-8s %11.1f%% %11.1f%% %13.1f%% %15.1f%%\n",
+			fmt.Sprintf("%dB", block),
+			100*float64(ad.ExecTime)/float64(base.ExecTime),
+			100*float64(ls.ExecTime)/float64(base.ExecTime),
+			100*float64(ls.Bytes)/float64(base.Bytes),
+			100*base.FalseSharingFrac)
+	}
+
+	fmt.Println("\nOLTP: LS improvement vs L2 size (32 B blocks)")
+	fmt.Printf("%-8s %12s %12s %12s\n", "L2", "AD exec", "LS exec", "LS coverage")
+	for _, kb := range []uint64{256, 512, 1024, 2048} {
+		cfg := lsnuma.OLTPConfig()
+		cfg.L2.Size = kb * 1024
+		results, err := lsnuma.Compare(cfg, "oltp", lsnuma.ScaleTest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, ad, ls := results[lsnuma.Baseline], results[lsnuma.AD], results[lsnuma.LS]
+		fmt.Printf("%-8s %11.1f%% %11.1f%% %11.1f%%\n",
+			fmt.Sprintf("%dkB", kb),
+			100*float64(ad.ExecTime)/float64(base.ExecTime),
+			100*float64(ls.ExecTime)/float64(base.ExecTime),
+			100*ls.Coverage.LoadStoreCoverage)
+	}
+}

@@ -1,0 +1,45 @@
+// protocol_compare renders the paper's three-panel behaviour figure for
+// every workload, showing where each protocol wins: MP3D (migratory,
+// both help), Cholesky (no migration — only LS helps), LU (false-sharing
+// pseudo-migration) and OLTP (diverse sharing — LS's super-set coverage
+// pays off).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lsnuma"
+	"lsnuma/internal/report"
+)
+
+func main() {
+	scaleName := flag.String("scale", "test", "problem size: test, small, paper")
+	flag.Parse()
+
+	var scale lsnuma.Scale
+	switch *scaleName {
+	case "test":
+		scale = lsnuma.ScaleTest
+	case "small":
+		scale = lsnuma.ScaleSmall
+	case "paper":
+		scale = lsnuma.ScalePaper
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	for _, w := range lsnuma.Workloads() {
+		cfg := lsnuma.DefaultConfig()
+		if w == "oltp" {
+			cfg = lsnuma.OLTPConfig()
+		}
+		results, err := lsnuma.Compare(cfg, w, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report.BehaviorFigure(w, results))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,40 @@
+// Quickstart: run the paper's headline experiment — the MP3D migratory
+// workload under the Baseline, AD and LS protocols — and print the
+// normalized comparison (the paper's Figure 3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lsnuma"
+)
+
+func main() {
+	cfg := lsnuma.DefaultConfig() // 4 nodes, 4 kB L1 / 64 kB L2, 16 B blocks
+
+	results, err := lsnuma.Compare(cfg, "mp3d", lsnuma.ScaleTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := results[lsnuma.Baseline]
+	fmt.Println("MP3D, 4 processors (normalized to Baseline = 100):")
+	fmt.Printf("%-10s %10s %10s %12s %12s\n",
+		"protocol", "exec", "traffic", "write-stall", "eliminated")
+	for _, p := range lsnuma.Protocols() {
+		r := results[p]
+		fmt.Printf("%-10s %9.1f%% %9.1f%% %11.1f%% %12d\n",
+			r.Protocol,
+			100*float64(r.ExecTime)/float64(base.ExecTime),
+			100*float64(r.Bytes)/float64(base.Bytes),
+			100*float64(r.WriteStall)/float64(base.WriteStall),
+			r.EliminatedOwnership)
+	}
+
+	ls := results[lsnuma.LS]
+	fmt.Printf("\nLS removed %d ownership acquisitions (%.0f%% of the load-store sequences;\n",
+		ls.EliminatedOwnership, 100*ls.Coverage.LoadStoreCoverage)
+	fmt.Printf("%.0f%% of the migratory ones), with %d failed predictions.\n",
+		100*ls.Coverage.MigratoryCoverage, ls.FailedPredictions)
+}

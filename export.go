@@ -1,0 +1,46 @@
+package lsnuma
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON writes the result as indented JSON, for downstream plotting
+// and archival (EXPERIMENTS.md is generated from such dumps).
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ResultFromJSON parses a result previously written with WriteJSON.
+func ResultFromJSON(r io.Reader) (*Result, error) {
+	var out Result
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("lsnuma: decoding result: %w", err)
+	}
+	return &out, nil
+}
+
+// ComparisonJSON bundles a protocol comparison for export.
+type ComparisonJSON struct {
+	Workload string             `json:"workload"`
+	Scale    string             `json:"scale"`
+	Results  map[string]*Result `json:"results"`
+}
+
+// WriteComparisonJSON writes a Compare result set as one JSON document.
+func WriteComparisonJSON(w io.Writer, results map[Protocol]*Result) error {
+	out := ComparisonJSON{Results: make(map[string]*Result, len(results))}
+	for p, r := range results {
+		out.Results[string(p)] = r
+		out.Workload = r.Workload
+		out.Scale = r.Scale
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

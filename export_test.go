@@ -1,0 +1,57 @@
+package lsnuma
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Protocol = LS
+	res, err := Run(cfg, "mp3d", ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ResultFromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ExecTime != res.ExecTime || back.Protocol != res.Protocol ||
+		back.Msgs != res.Msgs || back.Coverage != res.Coverage {
+		t.Errorf("roundtrip mismatch: %+v vs %+v", back, res)
+	}
+	if back.Total != res.Total {
+		t.Errorf("sequence totals mismatch")
+	}
+}
+
+func TestResultFromJSONRejectsGarbage(t *testing.T) {
+	if _, err := ResultFromJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ResultFromJSON(strings.NewReader(`{"Bogus": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestWriteComparisonJSON(t *testing.T) {
+	res, err := Compare(DefaultConfig(), "mp3d", ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteComparisonJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"workload": "mp3d"`, `"Baseline"`, `"AD"`, `"LS"`, `"ExecTime"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("comparison JSON missing %q", want)
+		}
+	}
+}

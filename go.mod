@@ -1,0 +1,3 @@
+module lsnuma
+
+go 1.22

@@ -1,0 +1,338 @@
+package classify
+
+import (
+	"math"
+	"testing"
+
+	"lsnuma/internal/memory"
+)
+
+func layout(t *testing.T) memory.Layout {
+	t.Helper()
+	l, err := memory.NewLayout(4096, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLoadStoreSequenceDetection(t *testing.T) {
+	s := NewSequences(layout(t))
+	b := memory.Addr(0x100)
+
+	// Read by 0 then write by 0: a load-store sequence, not migratory.
+	s.GlobalRead(b, 0)
+	isLS, isMig := s.GlobalWrite(b, 0, memory.SrcApp, false)
+	if !isLS || isMig {
+		t.Fatalf("first sequence: isLS=%v isMig=%v", isLS, isMig)
+	}
+
+	// Read by 1 then write by 1: load-store AND migratory (previous
+	// sequence owner was 0).
+	s.GlobalRead(b, 1)
+	isLS, isMig = s.GlobalWrite(b, 1, memory.SrcApp, false)
+	if !isLS || !isMig {
+		t.Fatalf("second sequence: isLS=%v isMig=%v", isLS, isMig)
+	}
+
+	// Read by 1 then write by 1 again: load-store, NOT migratory (same
+	// processor repeats).
+	s.GlobalRead(b, 1)
+	isLS, isMig = s.GlobalWrite(b, 1, memory.SrcApp, false)
+	if !isLS || isMig {
+		t.Fatalf("repeat sequence: isLS=%v isMig=%v", isLS, isMig)
+	}
+}
+
+func TestInterveningAccessBreaksSequence(t *testing.T) {
+	s := NewSequences(layout(t))
+	b := memory.Addr(0x200)
+	s.GlobalRead(b, 0)
+	s.GlobalRead(b, 1) // intervening read by another processor
+	isLS, _ := s.GlobalWrite(b, 0, memory.SrcApp, false)
+	if isLS {
+		t.Fatal("intervening foreign read did not break the sequence")
+	}
+}
+
+func TestWriteWithoutPriorReadIsNotLS(t *testing.T) {
+	s := NewSequences(layout(t))
+	b := memory.Addr(0x300)
+	if isLS, _ := s.GlobalWrite(b, 0, memory.SrcApp, false); isLS {
+		t.Fatal("cold write classified as load-store")
+	}
+	// Two writes in a row: still not load-store.
+	if isLS, _ := s.GlobalWrite(b, 0, memory.SrcApp, false); isLS {
+		t.Fatal("write-after-write classified as load-store")
+	}
+}
+
+func TestPerSourceAttribution(t *testing.T) {
+	s := NewSequences(layout(t))
+	b := memory.Addr(0x400)
+	s.GlobalRead(b, 0)
+	s.GlobalWrite(b, 0, memory.SrcOS, false)
+	s.GlobalWrite(b, 0, memory.SrcLib, false)
+	os, lib, app := s.Sources[memory.SrcOS], s.Sources[memory.SrcLib], s.Sources[memory.SrcApp]
+	if os.GlobalWrites != 1 || os.LoadStoreWrites != 1 {
+		t.Errorf("OS counters = %+v", os)
+	}
+	if lib.GlobalWrites != 1 || lib.LoadStoreWrites != 0 {
+		t.Errorf("lib counters = %+v", lib)
+	}
+	if app.GlobalWrites != 0 {
+		t.Errorf("app counters = %+v", app)
+	}
+	total := s.Total()
+	if total.GlobalWrites != 2 || total.LoadStoreWrites != 1 {
+		t.Errorf("total = %+v", total)
+	}
+}
+
+func TestCoverageAccounting(t *testing.T) {
+	s := NewSequences(layout(t))
+	b := memory.Addr(0x500)
+	// Migration 0 -> 1 -> 0; the second and third sequences eliminated.
+	s.GlobalRead(b, 0)
+	s.GlobalWrite(b, 0, memory.SrcApp, false)
+	s.GlobalRead(b, 1)
+	s.GlobalWrite(b, 1, memory.SrcApp, true)
+	s.GlobalRead(b, 0)
+	s.GlobalWrite(b, 0, memory.SrcApp, true)
+
+	if s.Cov.LoadStoreWrites != 3 || s.Cov.LoadStoreEliminated != 2 {
+		t.Errorf("coverage = %+v", s.Cov)
+	}
+	if s.Cov.MigratoryWrites != 2 || s.Cov.MigratoryEliminated != 2 {
+		t.Errorf("migratory coverage = %+v", s.Cov)
+	}
+	if got := s.Cov.LoadStoreCoverage(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("LoadStoreCoverage = %v", got)
+	}
+	if got := s.Cov.MigratoryCoverage(); got != 1.0 {
+		t.Errorf("MigratoryCoverage = %v", got)
+	}
+}
+
+func TestFractionsZeroSafe(t *testing.T) {
+	var c SourceCounters
+	if c.LoadStoreFrac() != 0 || c.MigratoryFrac() != 0 {
+		t.Error("zero counters produced nonzero fractions")
+	}
+	var cov Coverage
+	if cov.LoadStoreCoverage() != 0 || cov.MigratoryCoverage() != 0 {
+		t.Error("zero coverage produced nonzero fractions")
+	}
+}
+
+func TestSequencesPerBlockIndependence(t *testing.T) {
+	s := NewSequences(layout(t))
+	s.GlobalRead(0x100, 0)
+	s.GlobalRead(0x200, 1)
+	// Write by 0 to 0x100 is LS even though another block saw a foreign read.
+	if isLS, _ := s.GlobalWrite(0x100, 0, memory.SrcApp, false); !isLS {
+		t.Fatal("foreign access to a different block broke the sequence")
+	}
+}
+
+// --- false sharing ---
+
+func TestColdMiss(t *testing.T) {
+	f := NewFalseSharing(layout(t), 4)
+	f.OnMiss(0, 0x100)
+	f.OnAccess(0, 0x100, 4, memory.Load)
+	f.Finalize()
+	if f.Misses[ColdMiss] != 1 || f.TotalMisses() != 1 {
+		t.Errorf("misses = %+v", f.Misses)
+	}
+}
+
+func TestReplacementMiss(t *testing.T) {
+	f := NewFalseSharing(layout(t), 4)
+	f.OnMiss(0, 0x100)
+	f.OnAccess(0, 0x100, 4, memory.Load)
+	f.OnLose(0, 0x100, false) // replaced, not invalidated
+	f.OnMiss(0, 0x100)
+	f.Finalize()
+	if f.Misses[ColdMiss] != 1 || f.Misses[ReplacementMiss] != 1 {
+		t.Errorf("misses = %+v", f.Misses)
+	}
+}
+
+func TestTrueSharingMiss(t *testing.T) {
+	f := NewFalseSharing(layout(t), 4)
+	// CPU 0 reads word 0; CPU 1 writes word 0; CPU 0 re-reads word 0.
+	f.OnMiss(0, 0x100)
+	f.OnAccess(0, 0x100, 4, memory.Load)
+	f.OnMiss(1, 0x100)
+	f.OnLose(0, 0x100, true)              // invalidated by CPU 1's write...
+	f.OnAccess(1, 0x100, 4, memory.Store) // ...which completes after the invalidation
+	f.OnMiss(0, 0x100)
+	f.OnAccess(0, 0x100, 4, memory.Load) // consumes CPU 1's new value
+	f.Finalize()
+	if f.Misses[TrueSharingMiss] != 1 {
+		t.Errorf("misses = %+v", f.Misses)
+	}
+	if f.Misses[FalseSharingMiss] != 0 {
+		t.Errorf("false sharing misreported: %+v", f.Misses)
+	}
+}
+
+func TestFalseSharingMiss(t *testing.T) {
+	f := NewFalseSharing(layout(t), 4)
+	// CPU 0 uses word 0; CPU 1 writes word 1 (same block); CPU 0 re-reads
+	// only word 0 — the miss is pure false sharing.
+	f.OnMiss(0, 0x100)
+	f.OnAccess(0, 0x100, 4, memory.Load)
+	f.OnMiss(1, 0x100)
+	f.OnLose(0, 0x100, true)
+	f.OnAccess(1, 0x104, 4, memory.Store)
+	f.OnMiss(0, 0x100)
+	f.OnAccess(0, 0x100, 4, memory.Load)
+	f.OnLose(0, 0x100, true)
+	f.Finalize()
+	if f.Misses[FalseSharingMiss] != 1 {
+		t.Errorf("misses = %+v", f.Misses)
+	}
+	if got := f.FalseSharingFrac(); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("FalseSharingFrac = %v (misses %+v)", got, f.Misses)
+	}
+}
+
+func TestOwnWritesDoNotMakeMissEssential(t *testing.T) {
+	f := NewFalseSharing(layout(t), 4)
+	f.OnMiss(0, 0x100)
+	f.OnAccess(0, 0x100, 4, memory.Store) // CPU 0 writes its own word
+	f.OnLose(0, 0x100, true)              // invalidated (say, by false sharing)
+	f.OnMiss(0, 0x100)
+	f.OnAccess(0, 0x100, 4, memory.Load) // re-reads its OWN value
+	f.Finalize()
+	if f.Misses[FalseSharingMiss] != 1 {
+		t.Errorf("reading own value counted as true sharing: %+v", f.Misses)
+	}
+}
+
+func TestFinalizeClassifiesOpenResidencies(t *testing.T) {
+	f := NewFalseSharing(layout(t), 4)
+	f.OnMiss(0, 0x100)
+	f.OnAccess(0, 0x100, 4, memory.Load)
+	f.OnMiss(1, 0x100)
+	f.OnLose(0, 0x100, true)
+	f.OnAccess(1, 0x104, 4, memory.Store)
+	f.OnMiss(0, 0x100) // residency left open at simulation end
+	f.Finalize()
+	if f.Misses[FalseSharingMiss] != 1 {
+		t.Errorf("open residency not classified: %+v", f.Misses)
+	}
+	// Finalize must be idempotent.
+	f.Finalize()
+	if f.Misses[FalseSharingMiss] != 1 {
+		t.Errorf("Finalize not idempotent: %+v", f.Misses)
+	}
+}
+
+func TestWideBlockFalseSharingGrowsWithBlockSize(t *testing.T) {
+	// The same word-level access pattern classified under 16 B and 64 B
+	// blocks: with the larger block the neighbours' writes fall into the
+	// same block and turn the misses into false-sharing misses.
+	small, err := memory.NewLayout(4096, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := memory.NewLayout(4096, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(l memory.Layout) float64 {
+		f := NewFalseSharing(l, 2)
+		// CPU 0 works on the word at 0x100, CPU 1 on the word at 0x110 —
+		// different 16 B blocks, same 64 B block. Under 16 B blocks the
+		// writes never invalidate the other CPU's copy, so after the cold
+		// miss each CPU keeps its block; under 64 B blocks every write
+		// invalidates the other's copy, and every re-miss is pure false
+		// sharing.
+		interfere := l.SameBlock(0x100, 0x110)
+		resident := [2]bool{}
+		touch := func(cpu memory.NodeID, addr memory.Addr) {
+			if !resident[cpu] {
+				f.OnMiss(cpu, l.Block(addr))
+				resident[cpu] = true
+			}
+			if interfere {
+				other := 1 - cpu
+				if resident[other] {
+					f.OnLose(other, l.Block(addr), true)
+					resident[other] = false
+				}
+			}
+			f.OnAccess(cpu, addr, 4, memory.Store)
+		}
+		for i := 0; i < 4; i++ {
+			touch(0, 0x100)
+			touch(1, 0x110)
+		}
+		f.Finalize()
+		return f.FalseSharingFrac()
+	}
+	if fr := run(small); fr != 0 {
+		t.Errorf("16 B blocks: false sharing frac = %v, want 0", fr)
+	}
+	if fr := run(big); fr <= 0.5 {
+		t.Errorf("64 B blocks: false sharing frac = %v, want > 0.5", fr)
+	}
+}
+
+func TestMissKindStrings(t *testing.T) {
+	for k := MissKind(0); k < NumMissKinds; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if NumMissKinds.String() != "unknown" {
+		t.Error("out-of-range kind not unknown")
+	}
+}
+
+func TestDistanceHistogram(t *testing.T) {
+	s := NewSequences(layout(t))
+	// Adjacent read-write: distance 0.
+	s.GlobalRead(0x100, 0)
+	s.GlobalWrite(0x100, 0, memory.SrcApp, false)
+	if s.Distance[0] != 1 {
+		t.Errorf("Distance = %v, want bucket 0 == 1", s.Distance)
+	}
+	// Two intervening global accesses to other blocks: distance 2 → bucket 1.
+	s.GlobalRead(0x200, 1)
+	s.GlobalRead(0x300, 2)
+	s.GlobalRead(0x400, 2)
+	s.GlobalWrite(0x200, 1, memory.SrcApp, false)
+	if s.Distance[1] != 1 {
+		t.Errorf("Distance = %v, want bucket 1 == 1", s.Distance)
+	}
+	// A long gap lands in the top bucket.
+	s.GlobalRead(0x500, 3)
+	for i := 0; i < 300; i++ {
+		s.GlobalRead(memory.Addr(0x1000+i*16), 0)
+	}
+	s.GlobalWrite(0x500, 3, memory.SrcApp, false)
+	if s.Distance[5] != 1 {
+		t.Errorf("Distance = %v, want top bucket == 1", s.Distance)
+	}
+	if len(DistanceBuckets()) != len(s.Distance) {
+		t.Error("bucket labels out of sync")
+	}
+}
+
+func TestDistanceOnlyCountsCompletedSequences(t *testing.T) {
+	s := NewSequences(layout(t))
+	s.GlobalRead(0x100, 0)
+	s.GlobalRead(0x100, 1) // foreign read breaks the sequence
+	s.GlobalWrite(0x100, 0, memory.SrcApp, false)
+	var total uint64
+	for _, v := range s.Distance {
+		total += v
+	}
+	if total != 0 {
+		t.Errorf("broken sequence counted in distance histogram: %v", s.Distance)
+	}
+}

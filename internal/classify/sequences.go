@@ -1,0 +1,230 @@
+// Package classify implements the paper's access-pattern analyses:
+//
+//   - The load-store sequence detector (Section 2): a global read request
+//     followed by a global write action to the same memory block from the
+//     same processor, with no intervening access to the block from any
+//     other processor. Tables 2 and 3 are computed from it, including the
+//     per-source (application / libraries / OS) attribution and the
+//     migratory sub-classification.
+//
+//   - The Dubois et al. (ISCA '93) false-sharing classifier used for
+//     Table 4: a word-granularity essential/useless miss analysis.
+package classify
+
+import (
+	"lsnuma/internal/memory"
+)
+
+// seqState is the per-block state of the load-store sequence detector.
+type seqState struct {
+	lastAccessor memory.NodeID // processor of the most recent global access
+	lastWasRead  bool          // ... and whether it was a read
+	lastSeqOwner memory.NodeID // processor of the last completed load-store sequence
+	readSeq      uint64        // global access sequence number of the opening read
+}
+
+// SourceCounters accumulates Table 2 per source class.
+type SourceCounters struct {
+	// GlobalWrites counts global write actions (including ones the
+	// protocol eliminated by an exclusive grant — they are still global
+	// write actions of the workload).
+	GlobalWrites uint64
+	// LoadStoreWrites counts global writes that complete a load-store
+	// sequence.
+	LoadStoreWrites uint64
+	// MigratoryWrites counts load-store writes whose previous load-store
+	// sequence on the block was performed by a different processor —
+	// migratory sharing, the sub-set AD targets.
+	MigratoryWrites uint64
+}
+
+// LoadStoreFrac returns the fraction of global writes that are part of
+// load-store sequences (Table 2, first row).
+func (c SourceCounters) LoadStoreFrac() float64 {
+	if c.GlobalWrites == 0 {
+		return 0
+	}
+	return float64(c.LoadStoreWrites) / float64(c.GlobalWrites)
+}
+
+// MigratoryFrac returns the fraction of load-store sequences that are
+// migratory (Table 2, second row).
+func (c SourceCounters) MigratoryFrac() float64 {
+	if c.LoadStoreWrites == 0 {
+		return 0
+	}
+	return float64(c.MigratoryWrites) / float64(c.LoadStoreWrites)
+}
+
+// Coverage accumulates Table 3: how many of the load-store (and migratory)
+// global writes the protocol actually removed by granting exclusive copies.
+type Coverage struct {
+	LoadStoreWrites     uint64 // writes completing a load-store sequence
+	LoadStoreEliminated uint64 // ... of those, performed locally (no global action)
+	MigratoryWrites     uint64
+	MigratoryEliminated uint64
+}
+
+// LoadStoreCoverage returns the fraction of load-store global writes
+// removed (Table 3, "Load-Store" column).
+func (c Coverage) LoadStoreCoverage() float64 {
+	if c.LoadStoreWrites == 0 {
+		return 0
+	}
+	return float64(c.LoadStoreEliminated) / float64(c.LoadStoreWrites)
+}
+
+// MigratoryCoverage returns the fraction of migratory global writes
+// removed (Table 3, "Migratory" column).
+func (c Coverage) MigratoryCoverage() float64 {
+	if c.MigratoryWrites == 0 {
+		return 0
+	}
+	return float64(c.MigratoryEliminated) / float64(c.MigratoryWrites)
+}
+
+// Sequences is the online load-store sequence detector. The engine feeds
+// it every *global* access (one that reached the home node) plus every
+// eliminated write (a store satisfied locally by an exclusive grant, which
+// under the baseline protocol would have been a global write action).
+type Sequences struct {
+	layout  memory.Layout
+	blocks  map[uint64]*seqState
+	Sources [memory.NumSources]SourceCounters
+	Cov     Coverage
+
+	// Locate, if set, maps a block address to a data-region name;
+	// coverage is then additionally attributed per region (diagnostics
+	// and the lssweep region report).
+	Locate  func(memory.Addr) string
+	Regions map[string]*Coverage
+
+	// Distance histogram: the number of global accesses (machine-wide)
+	// between a load-store sequence's opening read and its closing write.
+	// The paper (§1, §2) attributes the static techniques' weak OLTP
+	// coverage to "the loads and the stores in the instruction stream
+	// [being] generally farther apart"; this measures the data-centric
+	// analogue. Buckets: 0, 1-3, 4-15, 16-63, 64-255, ≥256.
+	Distance [6]uint64
+	clock    uint64
+}
+
+// DistanceBuckets labels the Distance histogram buckets.
+func DistanceBuckets() []string {
+	return []string{"0", "1-3", "4-15", "16-63", "64-255", ">=256"}
+}
+
+func distanceBucket(d uint64) int {
+	switch {
+	case d == 0:
+		return 0
+	case d <= 3:
+		return 1
+	case d <= 15:
+		return 2
+	case d <= 63:
+		return 3
+	case d <= 255:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// NewSequences returns an empty detector for the given layout.
+func NewSequences(layout memory.Layout) *Sequences {
+	return &Sequences{layout: layout, blocks: make(map[uint64]*seqState)}
+}
+
+func (s *Sequences) state(block memory.Addr) *seqState {
+	idx := s.layout.BlockIndex(block)
+	st, ok := s.blocks[idx]
+	if !ok {
+		st = &seqState{lastAccessor: memory.NoNode, lastSeqOwner: memory.NoNode}
+		s.blocks[idx] = st
+	}
+	return st
+}
+
+// GlobalRead records a global read action by cpu on the block containing
+// addr.
+func (s *Sequences) GlobalRead(block memory.Addr, cpu memory.NodeID) {
+	s.clock++
+	st := s.state(block)
+	st.lastAccessor = cpu
+	st.lastWasRead = true
+	st.readSeq = s.clock
+}
+
+// GlobalWrite records a global write action by cpu on the block:
+// an ownership acquisition or write miss (eliminated=false), or a store
+// satisfied locally through an exclusive grant (eliminated=true). It
+// returns whether the write completed a load-store sequence and whether
+// that sequence was migratory.
+func (s *Sequences) GlobalWrite(block memory.Addr, cpu memory.NodeID, src memory.Source, eliminated bool) (isLS, isMigratory bool) {
+	s.clock++
+	st := s.state(block)
+	isLS = st.lastWasRead && st.lastAccessor == cpu
+	isMigratory = isLS && st.lastSeqOwner != memory.NoNode && st.lastSeqOwner != cpu
+	if isLS {
+		s.Distance[distanceBucket(s.clock-st.readSeq-1)]++
+	}
+
+	sc := &s.Sources[src]
+	sc.GlobalWrites++
+	var reg *Coverage
+	if s.Locate != nil {
+		name := s.Locate(block)
+		if s.Regions == nil {
+			s.Regions = make(map[string]*Coverage)
+		}
+		reg = s.Regions[name]
+		if reg == nil {
+			reg = &Coverage{}
+			s.Regions[name] = reg
+		}
+	}
+	if isLS {
+		sc.LoadStoreWrites++
+		s.Cov.LoadStoreWrites++
+		if eliminated {
+			s.Cov.LoadStoreEliminated++
+		}
+		if reg != nil {
+			reg.LoadStoreWrites++
+			if eliminated {
+				reg.LoadStoreEliminated++
+			}
+		}
+		st.lastSeqOwner = cpu
+	}
+	if isMigratory {
+		sc.MigratoryWrites++
+		s.Cov.MigratoryWrites++
+		if eliminated {
+			s.Cov.MigratoryEliminated++
+		}
+		if reg != nil {
+			reg.MigratoryWrites++
+			if eliminated {
+				reg.MigratoryEliminated++
+			}
+		}
+	}
+
+	st.lastAccessor = cpu
+	st.lastWasRead = false
+	return isLS, isMigratory
+}
+
+// Total returns the sum of the per-source counters (Table 2, "Total"
+// column).
+func (s *Sequences) Total() SourceCounters {
+	var out SourceCounters
+	for _, c := range s.Sources {
+		out.GlobalWrites += c.GlobalWrites
+		out.LoadStoreWrites += c.LoadStoreWrites
+		out.MigratoryWrites += c.MigratoryWrites
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+// Package directory implements the full-map directory of the simulated
+// CC-NUMA machine. Each memory block has a home node holding a directory
+// entry: presence bits for all caches, the home state machine of the
+// paper's Figure 1 (Uncached, Shared, Dirty, Load-Store/exclusive), and the
+// per-block tag state used by the protocol extensions — the last-reader
+// (LR) field and LS bit of the LS protocol (Section 3.1), and the
+// last-writer field and migratory bit of the AD protocol (Stenström et
+// al.).
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lsnuma/internal/memory"
+)
+
+// MaxNodes is the largest supported machine size (presence bits are a
+// uint64 bitset).
+const MaxNodes = 64
+
+// HomeState is the directory (home-node) state of a memory block.
+type HomeState uint8
+
+const (
+	// Uncached: no cache holds the block; memory is current.
+	Uncached HomeState = iota
+	// Shared: one or more caches hold read-only copies; memory is current.
+	Shared
+	// Dirty: exactly one cache holds the block Modified (acquired through
+	// a write); memory is stale.
+	Dirty
+	// Excl: exactly one cache holds the block through an exclusive read
+	// grant (the Load-Store state of Fig. 1, also used for AD's migratory
+	// grants). The holder may still be clean (LStemp) or may have
+	// silently promoted to Modified — the saved ownership acquisition.
+	Excl
+)
+
+func (s HomeState) String() string {
+	switch s {
+	case Uncached:
+		return "Uncached"
+	case Shared:
+		return "Shared"
+	case Dirty:
+		return "Dirty"
+	case Excl:
+		return "Load-Store"
+	default:
+		return fmt.Sprintf("HomeState(%d)", uint8(s))
+	}
+}
+
+// Bitset is a set of node IDs (presence bits).
+type Bitset uint64
+
+// Add inserts node n.
+func (b *Bitset) Add(n memory.NodeID) { *b |= 1 << uint(n) }
+
+// Remove deletes node n.
+func (b *Bitset) Remove(n memory.NodeID) { *b &^= 1 << uint(n) }
+
+// Has reports whether node n is present.
+func (b Bitset) Has(n memory.NodeID) bool { return b&(1<<uint(n)) != 0 }
+
+// Count returns the number of nodes present.
+func (b Bitset) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// Empty reports whether the set is empty.
+func (b Bitset) Empty() bool { return b == 0 }
+
+// Only returns the single member if the set has exactly one, else NoNode.
+func (b Bitset) Only() memory.NodeID {
+	if b.Count() != 1 {
+		return memory.NoNode
+	}
+	return memory.NodeID(bits.TrailingZeros64(uint64(b)))
+}
+
+// Other returns the single member that is not n, if the set is exactly
+// {n, other}; otherwise NoNode.
+func (b Bitset) Other(n memory.NodeID) memory.NodeID {
+	rest := b
+	rest.Remove(n)
+	if b.Count() == 2 && b.Has(n) {
+		return rest.Only()
+	}
+	return memory.NoNode
+}
+
+// ForEach calls fn for every member in ascending order.
+func (b Bitset) ForEach(fn func(memory.NodeID)) {
+	v := uint64(b)
+	for v != 0 {
+		n := bits.TrailingZeros64(v)
+		fn(memory.NodeID(n))
+		v &= v - 1
+	}
+}
+
+// Entry is the directory state of one memory block.
+type Entry struct {
+	State   HomeState
+	Sharers Bitset        // valid when State == Shared
+	Owner   memory.NodeID // valid when State == Dirty or Excl
+
+	// LS protocol tag state (Section 3.1).
+	LR memory.NodeID // last reader: updated on every global read
+	LS bool          // block tagged load-store
+
+	// AD protocol tag state (Stenström et al.).
+	LastWriter memory.NodeID
+	Migratory  bool
+
+	// Hysteresis counters for the §5.5 ablation (two-step deep tagging
+	// and de-tagging).
+	TagCount   uint8
+	DetagCount uint8
+}
+
+// Holders returns the set of caches holding the block in any state.
+func (e *Entry) Holders() Bitset {
+	switch e.State {
+	case Shared:
+		return e.Sharers
+	case Dirty, Excl:
+		var b Bitset
+		if e.Owner != memory.NoNode {
+			b.Add(e.Owner)
+		}
+		return b
+	default:
+		return 0
+	}
+}
+
+// Holds reports whether node n caches the block according to the directory.
+func (e *Entry) Holds(n memory.NodeID) bool { return e.Holders().Has(n) }
+
+// CheckInvariant validates the entry's structural invariants.
+func (e *Entry) CheckInvariant() error {
+	switch e.State {
+	case Uncached:
+		if !e.Sharers.Empty() {
+			return fmt.Errorf("directory: Uncached entry with sharers %b", e.Sharers)
+		}
+	case Shared:
+		if e.Sharers.Empty() {
+			return fmt.Errorf("directory: Shared entry with no sharers")
+		}
+	case Dirty, Excl:
+		if e.Owner == memory.NoNode {
+			return fmt.Errorf("directory: %v entry with no owner", e.State)
+		}
+		if !e.Sharers.Empty() {
+			return fmt.Errorf("directory: %v entry with sharers %b", e.State, e.Sharers)
+		}
+	default:
+		return fmt.Errorf("directory: invalid state %d", e.State)
+	}
+	return nil
+}
+
+// Directory holds the entries of all blocks, created lazily. A real
+// machine banks the directory per home node; for simulation a single table
+// indexed by block suffices — home-node attribution happens in the network
+// and timing model.
+type Directory struct {
+	layout  memory.Layout
+	entries map[uint64]*Entry
+	init    func(*Entry) // protocol hook: default tag state for new blocks
+}
+
+// New returns an empty directory. The init hook, if non-nil, runs on each
+// freshly created entry (used by the §5.5 default-tagging ablation).
+func New(layout memory.Layout, init func(*Entry)) *Directory {
+	return &Directory{layout: layout, entries: make(map[uint64]*Entry), init: init}
+}
+
+// Entry returns the directory entry for the block containing addr,
+// creating it in the Uncached state on first touch.
+func (d *Directory) Entry(block memory.Addr) *Entry {
+	idx := d.layout.BlockIndex(block)
+	e, ok := d.entries[idx]
+	if !ok {
+		e = &Entry{Owner: memory.NoNode, LR: memory.NoNode, LastWriter: memory.NoNode}
+		if d.init != nil {
+			d.init(e)
+		}
+		d.entries[idx] = e
+	}
+	return e
+}
+
+// Len returns the number of blocks with directory state.
+func (d *Directory) Len() int { return len(d.entries) }
+
+// ForEach visits every entry (order unspecified). Intended for global
+// invariant checks in tests.
+func (d *Directory) ForEach(fn func(blockIndex uint64, e *Entry)) {
+	for idx, e := range d.entries {
+		fn(idx, e)
+	}
+}

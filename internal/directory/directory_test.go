@@ -1,0 +1,216 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lsnuma/internal/memory"
+)
+
+func layout(t *testing.T) memory.Layout {
+	t.Helper()
+	l, err := memory.NewLayout(4096, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestBitsetBasics(t *testing.T) {
+	var b Bitset
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("zero bitset not empty")
+	}
+	b.Add(3)
+	b.Add(7)
+	b.Add(3) // idempotent
+	if b.Count() != 2 || !b.Has(3) || !b.Has(7) || b.Has(0) {
+		t.Fatalf("bitset = %b", b)
+	}
+	b.Remove(3)
+	if b.Count() != 1 || b.Has(3) {
+		t.Fatalf("after remove = %b", b)
+	}
+	b.Remove(3) // idempotent
+	if b.Count() != 1 {
+		t.Fatalf("double remove changed set: %b", b)
+	}
+}
+
+func TestBitsetOnly(t *testing.T) {
+	var b Bitset
+	if b.Only() != memory.NoNode {
+		t.Error("empty Only() != NoNode")
+	}
+	b.Add(5)
+	if b.Only() != 5 {
+		t.Errorf("Only() = %d", b.Only())
+	}
+	b.Add(9)
+	if b.Only() != memory.NoNode {
+		t.Error("two-member Only() != NoNode")
+	}
+}
+
+func TestBitsetOther(t *testing.T) {
+	var b Bitset
+	b.Add(2)
+	b.Add(6)
+	if got := b.Other(2); got != 6 {
+		t.Errorf("Other(2) = %d", got)
+	}
+	if got := b.Other(6); got != 2 {
+		t.Errorf("Other(6) = %d", got)
+	}
+	if got := b.Other(3); got != memory.NoNode {
+		t.Errorf("Other(non-member) = %d", got)
+	}
+	b.Add(9)
+	if got := b.Other(2); got != memory.NoNode {
+		t.Errorf("Other with 3 members = %d", got)
+	}
+}
+
+func TestBitsetForEachOrder(t *testing.T) {
+	var b Bitset
+	for _, n := range []memory.NodeID{9, 1, 33, 0} {
+		b.Add(n)
+	}
+	var got []memory.NodeID
+	b.ForEach(func(n memory.NodeID) { got = append(got, n) })
+	want := []memory.NodeID{0, 1, 9, 33}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitsetCountMatchesForEach(t *testing.T) {
+	f := func(v uint64) bool {
+		b := Bitset(v)
+		n := 0
+		b.ForEach(func(memory.NodeID) { n++ })
+		return n == b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntryLazyCreation(t *testing.T) {
+	d := New(layout(t), nil)
+	if d.Len() != 0 {
+		t.Fatal("new directory not empty")
+	}
+	e := d.Entry(0x120)
+	if e.State != Uncached || e.Owner != memory.NoNode || e.LR != memory.NoNode || e.LastWriter != memory.NoNode {
+		t.Fatalf("fresh entry = %+v", e)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	// Same block, same entry.
+	if d.Entry(0x120) != e {
+		t.Fatal("second lookup returned different entry")
+	}
+	// Addresses inside the same block share the entry (the directory is
+	// indexed by block; callers pass block-aligned addresses, but any
+	// address in the block resolves identically).
+	if d.Entry(0x12c) != e {
+		t.Fatal("same-block address returned different entry")
+	}
+	if d.Entry(0x130) == e {
+		t.Fatal("different block shared an entry")
+	}
+}
+
+func TestInitHook(t *testing.T) {
+	d := New(layout(t), func(e *Entry) { e.LS = true; e.Migratory = true })
+	e := d.Entry(0x40)
+	if !e.LS || !e.Migratory {
+		t.Fatalf("init hook not applied: %+v", e)
+	}
+}
+
+func TestEntryInvariants(t *testing.T) {
+	ok := []Entry{
+		{State: Uncached, Owner: memory.NoNode},
+		{State: Shared, Sharers: 0b1010, Owner: memory.NoNode},
+		{State: Dirty, Owner: 2},
+		{State: Excl, Owner: 0},
+	}
+	for i, e := range ok {
+		if err := e.CheckInvariant(); err != nil {
+			t.Errorf("valid entry %d rejected: %v", i, err)
+		}
+	}
+	bad := []Entry{
+		{State: Uncached, Sharers: 1, Owner: memory.NoNode},
+		{State: Shared, Owner: memory.NoNode},
+		{State: Dirty, Owner: memory.NoNode},
+		{State: Excl, Owner: memory.NoNode},
+		{State: Dirty, Owner: 1, Sharers: 0b10},
+		{State: HomeState(9)},
+	}
+	for i, e := range bad {
+		if err := e.CheckInvariant(); err == nil {
+			t.Errorf("invalid entry %d accepted: %+v", i, e)
+		}
+	}
+}
+
+func TestHolders(t *testing.T) {
+	e := Entry{State: Shared, Sharers: 0b110, Owner: memory.NoNode}
+	if h := e.Holders(); h != 0b110 {
+		t.Errorf("Shared Holders = %b", h)
+	}
+	if !e.Holds(1) || e.Holds(0) {
+		t.Error("Holds wrong for Shared")
+	}
+	e = Entry{State: Dirty, Owner: 3}
+	if h := e.Holders(); !h.Has(3) || h.Count() != 1 {
+		t.Errorf("Dirty Holders = %b", h)
+	}
+	e = Entry{State: Uncached, Owner: memory.NoNode}
+	if !e.Holders().Empty() {
+		t.Error("Uncached has holders")
+	}
+	e = Entry{State: Excl, Owner: memory.NoNode}
+	if !e.Holders().Empty() {
+		t.Error("ownerless Excl has holders")
+	}
+}
+
+func TestHomeStateString(t *testing.T) {
+	for s, want := range map[HomeState]string{
+		Uncached: "Uncached", Shared: "Shared", Dirty: "Dirty", Excl: "Load-Store",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", uint8(s), s.String())
+		}
+	}
+	if HomeState(12).String() == "" {
+		t.Error("unknown state string empty")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	d := New(layout(t), nil)
+	d.Entry(0x00)
+	d.Entry(0x10)
+	d.Entry(0x20)
+	n := 0
+	d.ForEach(func(idx uint64, e *Entry) {
+		n++
+		if e == nil {
+			t.Error("nil entry in ForEach")
+		}
+	})
+	if n != 3 {
+		t.Errorf("ForEach visited %d entries", n)
+	}
+}

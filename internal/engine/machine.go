@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"fmt"
+
+	"lsnuma/internal/cache"
+	"lsnuma/internal/classify"
+	"lsnuma/internal/directory"
+	"lsnuma/internal/memory"
+	"lsnuma/internal/network"
+	"lsnuma/internal/stats"
+)
+
+// Program is the code one simulated processor executes. It runs as an
+// ordinary Go function; every interaction with simulated memory goes
+// through the Proc handle. Programs of different processors never run
+// concurrently — the scheduler resumes exactly one at a time — so shared
+// Go-side workload state needs no synchronization beyond the simulated
+// locks.
+type Program func(p *Proc)
+
+// node is the per-node hardware state.
+type node struct {
+	caches   *cache.Hierarchy
+	ctrlBusy uint64 // memory-controller occupancy (busy-until)
+}
+
+// Machine is one simulated multiprocessor.
+type Machine struct {
+	cfg    Config
+	layout memory.Layout
+	dir    *directory.Directory
+	net    *network.Network
+	nodes  []*node
+	st     *stats.Stats
+	seq    *classify.Sequences
+	fs     *classify.FalseSharing
+	alloc  *memory.Allocator
+
+	procs  []*Proc
+	events chan event
+
+	recorder func(OpRecord)
+}
+
+// OpRecord describes one scheduled memory operation, for trace capture.
+type OpRecord struct {
+	CPU     memory.NodeID
+	Addr    memory.Addr
+	Size    uint32
+	Kind    memory.Kind
+	RMW     bool
+	Source  memory.Source
+	Compute uint32 // busy cycles since the CPU's previous operation
+}
+
+type event struct {
+	proc *Proc
+	op   *op // nil means the program finished
+	err  any // non-nil if the program panicked
+}
+
+// NewMachine builds a machine from cfg.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	layout, err := memory.NewLayout(cfg.PageSize, cfg.L2.BlockSize, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	st := stats.New(cfg.Nodes)
+	nw, err := network.New(network.Config{
+		HopDelay:      cfg.Timing.HopDelay,
+		BytesPerCycle: cfg.Timing.BytesPerCycle,
+		BlockSize:     cfg.L2.BlockSize,
+		Topology:      cfg.Timing.Topology,
+	}, cfg.Nodes, st)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:    cfg,
+		layout: layout,
+		dir:    directory.New(layout, cfg.Protocol.InitEntry),
+		net:    nw,
+		st:     st,
+		alloc:  memory.NewAllocator(layout, 0),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		h, err := cache.NewHierarchy(cfg.L1, cfg.L2)
+		if err != nil {
+			return nil, err
+		}
+		m.nodes = append(m.nodes, &node{caches: h})
+	}
+	if cfg.TrackSequences {
+		m.seq = classify.NewSequences(layout)
+		m.seq.Locate = m.alloc.FindName
+	}
+	if cfg.TrackFalseSharing {
+		m.fs = classify.NewFalseSharing(layout, cfg.Nodes)
+	}
+	return m, nil
+}
+
+// Layout returns the machine's address-space layout.
+func (m *Machine) Layout() memory.Layout { return m.layout }
+
+// Alloc returns the machine's shared address-space allocator, used by
+// workloads to place their data structures before Run.
+func (m *Machine) Alloc() *memory.Allocator { return m.alloc }
+
+// Nodes returns the number of processor nodes.
+func (m *Machine) Nodes() int { return m.cfg.Nodes }
+
+// Stats exposes the statistics collector (final after Run returns).
+func (m *Machine) Stats() *stats.Stats { return m.st }
+
+// Sequences returns the load-store sequence analysis, or nil if disabled.
+func (m *Machine) Sequences() *classify.Sequences { return m.seq }
+
+// FalseSharing returns the Dubois miss classifier, or nil if disabled.
+func (m *Machine) FalseSharing() *classify.FalseSharing { return m.fs }
+
+// Directory exposes the directory for invariant checks in tests.
+func (m *Machine) Directory() *directory.Directory { return m.dir }
+
+// Hierarchy exposes node n's cache hierarchy for tests.
+func (m *Machine) Hierarchy(n memory.NodeID) *cache.Hierarchy { return m.nodes[n].caches }
+
+// SetRecorder installs a hook invoked for every scheduled memory
+// operation (trace capture). Must be set before Run.
+func (m *Machine) SetRecorder(fn func(OpRecord)) { m.recorder = fn }
+
+// Run executes one program per processor to completion and finalizes the
+// statistics. The i-th program runs on node i; if fewer programs than
+// nodes are supplied the remaining processors stay idle. Run may be called
+// only once per Machine.
+func (m *Machine) Run(programs []Program) error {
+	if m.procs != nil {
+		return fmt.Errorf("engine: Run called twice on the same machine")
+	}
+	if len(programs) > m.cfg.Nodes {
+		return fmt.Errorf("engine: %d programs for %d nodes", len(programs), m.cfg.Nodes)
+	}
+	m.events = make(chan event)
+	for i, prog := range programs {
+		if prog == nil {
+			continue // nil program: the node stays idle
+		}
+		p := &Proc{
+			m:      m,
+			id:     memory.NodeID(i),
+			resume: make(chan struct{}),
+		}
+		m.procs = append(m.procs, p)
+		go func(prog Program, p *Proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					m.events <- event{proc: p, err: r}
+					return
+				}
+				m.events <- event{proc: p}
+			}()
+			prog(p)
+		}(prog, p)
+	}
+	return m.schedule()
+}
+
+// schedule is the deterministic serial scheduler: it waits for the single
+// running processor to submit its next memory operation (or finish), then
+// services the pending operation with the smallest processor clock
+// (tie-break: lowest CPU id).
+func (m *Machine) schedule() error {
+	running := len(m.procs)
+	pending := make([]*op, m.cfg.Nodes) // indexed by CPU id
+	live := len(m.procs)
+
+	for {
+		for running > 0 {
+			ev := <-m.events
+			running--
+			if ev.err != nil {
+				// A program panicked: drain cannot continue safely.
+				return fmt.Errorf("engine: program on CPU %d panicked: %v", ev.proc.id, ev.err)
+			}
+			if ev.op == nil {
+				live--
+				continue
+			}
+			pending[ev.proc.id] = ev.op
+		}
+		if live == 0 {
+			break
+		}
+		// Pick the pending op with the smallest clock.
+		var next *op
+		for _, o := range pending {
+			if o == nil {
+				continue
+			}
+			if next == nil || o.at < next.at || (o.at == next.at && o.proc.id < next.proc.id) {
+				next = o
+			}
+		}
+		if next == nil {
+			return fmt.Errorf("engine: deadlock — %d live processors but none runnable", live)
+		}
+		if m.cfg.MaxCycles > 0 && next.at > m.cfg.MaxCycles {
+			return fmt.Errorf("engine: CPU %d exceeded MaxCycles=%d (livelock guard)", next.proc.id, m.cfg.MaxCycles)
+		}
+		pending[next.proc.id] = nil
+		if m.recorder != nil {
+			gap := uint32(0)
+			if next.at > next.proc.lastDone {
+				gap = uint32(next.at - next.proc.lastDone)
+			}
+			m.recorder(OpRecord{
+				CPU: next.proc.id, Addr: next.addr, Size: next.size,
+				Kind: next.kind, RMW: next.rmw, Source: next.proc.src,
+				Compute: gap,
+			})
+		}
+		m.execute(next)
+		next.proc.lastDone = next.proc.clock
+		running = 1
+		next.proc.resume <- struct{}{}
+	}
+
+	if m.fs != nil {
+		m.fs.Finalize()
+	}
+	return nil
+}
+
+// CheckCoherence validates the global single-writer/multiple-reader
+// invariant between the directory and all caches: it returns an error if
+// any block is held Modified/LStemp by one cache while any other cache
+// holds it, or if directory presence information disagrees with the
+// caches. Intended for tests after (or during) a run.
+func (m *Machine) CheckCoherence() error {
+	type holder struct {
+		node  memory.NodeID
+		state cache.State
+	}
+	held := make(map[memory.Addr][]holder)
+	for i, n := range m.nodes {
+		for _, ln := range n.caches.L2().Resident() {
+			held[ln.Block] = append(held[ln.Block], holder{memory.NodeID(i), ln.State})
+		}
+	}
+	for block, hs := range held {
+		excl := 0
+		for _, h := range hs {
+			if h.state.Exclusive() {
+				excl++
+			}
+		}
+		if excl > 0 && len(hs) > 1 {
+			return fmt.Errorf("coherence: block %#x held exclusively with %d total copies", block, len(hs))
+		}
+		e := m.dir.Entry(block)
+		for _, h := range hs {
+			if !e.Holds(h.node) {
+				return fmt.Errorf("coherence: block %#x cached at node %d but directory (%v) disagrees",
+					block, h.node, e.State)
+			}
+		}
+	}
+	// Directory must not claim holders that do not exist.
+	var dirErr error
+	m.dir.ForEach(func(idx uint64, e *directory.Entry) {
+		if dirErr != nil {
+			return
+		}
+		if err := e.CheckInvariant(); err != nil {
+			dirErr = fmt.Errorf("block index %#x: %w", idx, err)
+			return
+		}
+		block := memory.Addr(idx * m.layout.BlockSize)
+		e.Holders().ForEach(func(n memory.NodeID) {
+			if m.nodes[n].caches.State(block) == cache.Invalid && dirErr == nil {
+				dirErr = fmt.Errorf("coherence: directory says node %d holds block %#x but cache is invalid", n, block)
+			}
+		})
+	})
+	return dirErr
+}

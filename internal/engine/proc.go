@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"math/rand"
+
+	"lsnuma/internal/memory"
+)
+
+// op is one memory operation submitted to the scheduler.
+type op struct {
+	proc *Proc
+	at   uint64 // processor clock at issue
+	addr memory.Addr
+	size uint32
+	kind memory.Kind
+	rmw  bool // atomic read-modify-write (e.g. SPARC ldstub/swap)
+	excl bool // exclusive-read annotation (software prefetch-exclusive)
+}
+
+// Proc is a simulated processor's handle onto the machine, passed to its
+// Program. All methods must be called only from that program's goroutine.
+type Proc struct {
+	m      *Machine
+	id     memory.NodeID
+	clock  uint64
+	src    memory.Source
+	resume chan struct{}
+	rng    *rand.Rand
+
+	// writeDrain is the completion time of the last buffered store under
+	// the relaxed-consistency model (zero when modeling SC).
+	writeDrain uint64
+	// lastDone is the clock after the previous operation completed (used
+	// to compute trace capture gaps).
+	lastDone uint64
+}
+
+// ID returns the processor's node id.
+func (p *Proc) ID() memory.NodeID { return p.id }
+
+// Clock returns the processor's current local time in cycles.
+func (p *Proc) Clock() uint64 { return p.clock }
+
+// Machine returns the machine the processor belongs to.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Rand returns a per-processor deterministic random source (seeded by CPU
+// id), for workloads that need randomized but reproducible behaviour.
+func (p *Proc) Rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(0x9E3779B9*int64(p.id) + 1))
+	}
+	return p.rng
+}
+
+// SetSource sets the source class (application, library, OS) attributed to
+// subsequent accesses, for the Table 2 breakdown.
+func (p *Proc) SetSource(s memory.Source) { p.src = s }
+
+// Source returns the current source class.
+func (p *Proc) Source() memory.Source { return p.src }
+
+// Compute advances the processor's clock by n busy cycles without touching
+// memory. Computation is local, so it needs no scheduling round-trip; the
+// clock ordering with other processors is enforced at the next memory
+// operation.
+func (p *Proc) Compute(n int) {
+	if n <= 0 {
+		return
+	}
+	p.clock += uint64(n)
+	p.m.st.CPUs[p.id].Busy += uint64(n)
+}
+
+// submit hands the operation to the scheduler and blocks until it has been
+// serviced (the processor's clock has then been advanced by the modeled
+// latency).
+func (p *Proc) submit(o *op) {
+	o.proc = p
+	o.at = p.clock
+	p.m.events <- event{proc: p, op: o}
+	<-p.resume
+}
+
+// Read performs a word-sized load at addr.
+func (p *Proc) Read(addr memory.Addr) {
+	p.submit(&op{addr: addr, size: memory.WordSize, kind: memory.Load})
+}
+
+// ReadN performs a load of size bytes at addr (split per block as needed).
+func (p *Proc) ReadN(addr memory.Addr, size uint32) {
+	if size == 0 {
+		return
+	}
+	p.submit(&op{addr: addr, size: size, kind: memory.Load})
+}
+
+// Write performs a word-sized store at addr.
+func (p *Proc) Write(addr memory.Addr) {
+	p.submit(&op{addr: addr, size: memory.WordSize, kind: memory.Store})
+}
+
+// WriteN performs a store of size bytes at addr.
+func (p *Proc) WriteN(addr memory.Addr, size uint32) {
+	if size == 0 {
+		return
+	}
+	p.submit(&op{addr: addr, size: size, kind: memory.Store})
+}
+
+// ReadEx performs a word-sized load annotated exclusive: under a machine
+// configured with SoftwareExclusive the read request is combined with an
+// ownership acquisition (the compiler techniques of §2.1); otherwise it
+// behaves exactly like Read.
+func (p *Proc) ReadEx(addr memory.Addr) {
+	p.submit(&op{addr: addr, size: memory.WordSize, kind: memory.Load, excl: true})
+}
+
+// ReadExN is ReadEx for a size-byte access.
+func (p *Proc) ReadExN(addr memory.Addr, size uint32) {
+	if size == 0 {
+		return
+	}
+	p.submit(&op{addr: addr, size: size, kind: memory.Load, excl: true})
+}
+
+// RMW performs an atomic word-sized read-modify-write at addr: a load
+// immediately followed by a store to the same location with no intervening
+// access from any other processor — the hardware primitive (ldstub, swap)
+// behind locks, and the archetypal load-store sequence of the paper.
+func (p *Proc) RMW(addr memory.Addr) {
+	p.submit(&op{addr: addr, size: memory.WordSize, kind: memory.Store, rmw: true})
+}

@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"fmt"
+
+	"lsnuma/internal/memory"
+)
+
+// Synchronization primitives built from simulated loads, stores and atomic
+// read-modify-writes, so they exhibit the real coherence behaviour the
+// paper studies: test-and-set is a load-store sequence (SPARC ldstub),
+// spinning reads hit the local cache until the holder's release
+// invalidates the spinners' copies, and contended locks migrate between
+// processors.
+//
+// The Go-side fields (held, count, sense...) are safe to touch without
+// host synchronization: the engine's scheduler runs exactly one program
+// goroutine at a time, and program code between two simulated memory
+// operations is atomic with respect to all other simulated processors.
+
+// Lock is a test-and-test-and-set spin lock occupying one simulated word.
+type Lock struct {
+	addr    memory.Addr
+	held    bool
+	holder  memory.NodeID
+	backoff int
+
+	// Acquisitions and Contended count lock usage for workload reports
+	// (e.g. the OLTP critical-section statistics of §5.4).
+	Acquisitions uint64
+	Contended    uint64
+}
+
+// NewLock allocates a lock word from the allocator under the given region
+// name. Locks allocated consecutively may share a cache block — exactly
+// like adjacent pthread mutexes in the paper's workload; pad with
+// a.AllocBlocks if that is not wanted.
+func NewLock(a *memory.Allocator, name string) *Lock {
+	return &Lock{addr: a.Alloc(name, memory.WordSize, 0), holder: memory.NoNode, backoff: 4}
+}
+
+// Addr returns the lock word's simulated address.
+func (l *Lock) Addr() memory.Addr { return l.addr }
+
+// TryAcquire attempts a single test-and-set and reports success.
+func (l *Lock) TryAcquire(p *Proc) bool {
+	p.RMW(l.addr)
+	if l.held {
+		return false
+	}
+	l.held = true
+	l.holder = p.ID()
+	l.Acquisitions++
+	return true
+}
+
+// Acquire spins until the lock is held by p. The spin reads the lock word
+// (cache-resident until invalidated by the releaser) with randomized
+// exponential backoff — deterministic per processor, like the
+// test-and-test-and-set loops in real spin-lock implementations. The
+// jitter matters: in a deterministic simulator two contenders with
+// identical timing would otherwise race for the word in lockstep and one
+// could starve forever.
+func (l *Lock) Acquire(p *Proc) {
+	contended := false
+	backoff := l.backoff
+	for {
+		if l.TryAcquire(p) {
+			if contended {
+				l.Contended++
+			}
+			return
+		}
+		contended = true
+		for {
+			p.Read(l.addr)
+			if !l.held {
+				break
+			}
+			p.Compute(backoff + p.Rand().Intn(backoff))
+			if backoff < 1024 {
+				backoff *= 2
+			}
+		}
+		p.Compute(p.Rand().Intn(16)) // desynchronize the test-and-set
+	}
+}
+
+// Release frees the lock. It panics if p does not hold it.
+func (l *Lock) Release(p *Proc) {
+	if !l.held || l.holder != p.ID() {
+		panic(fmt.Sprintf("engine: CPU %d releasing lock %#x held by %d (held=%v)",
+			p.ID(), l.addr, l.holder, l.held))
+	}
+	l.held = false
+	l.holder = memory.NoNode
+	p.Write(l.addr)
+}
+
+// Holder returns the current holder, or NoNode.
+func (l *Lock) Holder() memory.NodeID {
+	if !l.held {
+		return memory.NoNode
+	}
+	return l.holder
+}
+
+// TicketLock is a fair FIFO lock: one word for the ticket counter, one for
+// the now-serving counter.
+type TicketLock struct {
+	ticketAddr  memory.Addr
+	servingAddr memory.Addr
+	nextTicket  uint64
+	nowServing  uint64
+}
+
+// NewTicketLock allocates the two lock words under the given region name.
+func NewTicketLock(a *memory.Allocator, name string) *TicketLock {
+	return &TicketLock{
+		ticketAddr:  a.Alloc(name, memory.WordSize, 0),
+		servingAddr: a.Alloc(name, memory.WordSize, 0),
+	}
+}
+
+// Acquire takes a ticket (fetch-and-increment: a load-store sequence) and
+// spins on the now-serving word.
+func (t *TicketLock) Acquire(p *Proc) {
+	p.RMW(t.ticketAddr)
+	my := t.nextTicket
+	t.nextTicket++
+	for {
+		p.Read(t.servingAddr)
+		if t.nowServing == my {
+			return
+		}
+		p.Compute(4)
+	}
+}
+
+// Release passes the lock to the next ticket holder.
+func (t *TicketLock) Release(p *Proc) {
+	t.nowServing++
+	p.Write(t.servingAddr)
+}
+
+// Counter is a shared fetch-and-add word.
+type Counter struct {
+	addr  memory.Addr
+	value int64
+}
+
+// NewCounter allocates a counter word.
+func NewCounter(a *memory.Allocator, name string) *Counter {
+	return &Counter{addr: a.Alloc(name, memory.WordSize, 0)}
+}
+
+// Addr returns the counter's simulated address.
+func (c *Counter) Addr() memory.Addr { return c.addr }
+
+// Add atomically adds delta (a load-store sequence) and returns the new
+// value.
+func (c *Counter) Add(p *Proc, delta int64) int64 {
+	p.RMW(c.addr)
+	c.value += delta
+	return c.value
+}
+
+// Load reads the counter.
+func (c *Counter) Load(p *Proc) int64 {
+	p.Read(c.addr)
+	return c.value
+}
+
+// Barrier is a sense-reversing centralized barrier.
+type Barrier struct {
+	countAddr  memory.Addr
+	senseAddr  memory.Addr
+	parties    int
+	count      int
+	sense      bool
+	localSense []bool
+}
+
+// NewBarrier allocates barrier state for the given number of parties.
+func NewBarrier(a *memory.Allocator, name string, parties, cpus int) *Barrier {
+	return &Barrier{
+		countAddr:  a.Alloc(name, memory.WordSize, 0),
+		senseAddr:  a.Alloc(name, memory.WordSize, 0),
+		parties:    parties,
+		localSense: make([]bool, cpus),
+	}
+}
+
+// Wait blocks (in simulated time) until all parties have arrived.
+func (b *Barrier) Wait(p *Proc) {
+	id := p.ID()
+	ls := !b.localSense[id]
+	b.localSense[id] = ls
+
+	p.RMW(b.countAddr) // fetch-and-increment the arrival counter
+	b.count++
+	if b.count == b.parties {
+		b.count = 0
+		b.sense = ls
+		p.Write(b.senseAddr) // release: invalidates all spinners
+		return
+	}
+	for {
+		p.Read(b.senseAddr)
+		if b.sense == ls {
+			return
+		}
+		p.Compute(8)
+	}
+}
+
+// RWLock is a readers-writer spin lock built from a lock word and a
+// reader-count word (the classic database latch). Reads of hot structures
+// take the shared mode; writers drain readers, producing the
+// write-to-read-shared invalidation pattern of the paper's OLTP analysis.
+type RWLock struct {
+	wordAddr    memory.Addr // writer flag word
+	readersAddr memory.Addr // reader count word
+	writer      bool
+	readers     int
+	holderW     memory.NodeID
+}
+
+// NewRWLock allocates the two latch words under the given region name.
+func NewRWLock(a *memory.Allocator, name string) *RWLock {
+	return &RWLock{
+		wordAddr:    a.Alloc(name, memory.WordSize, 0),
+		readersAddr: a.Alloc(name, memory.WordSize, 0),
+		holderW:     memory.NoNode,
+	}
+}
+
+// RLock acquires the latch in shared mode.
+func (l *RWLock) RLock(p *Proc) {
+	backoff := 4
+	for {
+		// Wait until no writer holds or wants the latch.
+		for {
+			p.Read(l.wordAddr)
+			if !l.writer {
+				break
+			}
+			p.Compute(backoff + p.Rand().Intn(backoff))
+			if backoff < 512 {
+				backoff *= 2
+			}
+		}
+		// Register as a reader, then re-check the writer flag (the
+		// standard acquire-recheck dance).
+		p.RMW(l.readersAddr)
+		l.readers++
+		p.Read(l.wordAddr)
+		if !l.writer {
+			return
+		}
+		p.RMW(l.readersAddr)
+		l.readers--
+	}
+}
+
+// RUnlock releases a shared hold.
+func (l *RWLock) RUnlock(p *Proc) {
+	if l.readers <= 0 {
+		panic("engine: RUnlock without readers")
+	}
+	p.RMW(l.readersAddr)
+	l.readers--
+}
+
+// Lock acquires the latch exclusively: set the writer flag, then drain
+// the readers.
+func (l *RWLock) Lock(p *Proc) {
+	backoff := 4
+	for {
+		p.RMW(l.wordAddr)
+		if !l.writer {
+			l.writer = true
+			l.holderW = p.ID()
+			break
+		}
+		p.Compute(backoff + p.Rand().Intn(backoff))
+		if backoff < 512 {
+			backoff *= 2
+		}
+	}
+	for {
+		p.Read(l.readersAddr)
+		if l.readers == 0 {
+			return
+		}
+		p.Compute(8 + p.Rand().Intn(8))
+	}
+}
+
+// Unlock releases the exclusive hold.
+func (l *RWLock) Unlock(p *Proc) {
+	if !l.writer || l.holderW != p.ID() {
+		panic(fmt.Sprintf("engine: CPU %d unlocking RWLock held by %d", p.ID(), l.holderW))
+	}
+	l.writer = false
+	l.holderW = memory.NoNode
+	p.Write(l.wordAddr)
+}

@@ -1,0 +1,215 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lsnuma/internal/memory"
+	"lsnuma/internal/stats"
+)
+
+func newNet(t *testing.T, n int) (*Network, *stats.Stats) {
+	t.Helper()
+	st := stats.New(n)
+	nw, err := New(Config{HopDelay: 40, BytesPerCycle: 8, BlockSize: 32}, n, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, st
+}
+
+func TestConfigValidate(t *testing.T) {
+	ok := Config{HopDelay: 40, BytesPerCycle: 8, BlockSize: 32}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for _, bad := range []Config{
+		{HopDelay: -1, BytesPerCycle: 8, BlockSize: 32},
+		{HopDelay: 40, BytesPerCycle: 0, BlockSize: 32},
+		{HopDelay: 40, BytesPerCycle: 8, BlockSize: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", bad)
+		}
+	}
+	if _, err := New(ok, 0, stats.New(0)); err == nil {
+		t.Error("zero-node network accepted")
+	}
+}
+
+func TestLocalSendIsFree(t *testing.T) {
+	nw, st := newNet(t, 4)
+	if got := nw.Send(2, 2, stats.MsgReadReq, 100); got != 100 {
+		t.Errorf("local send arrival = %d, want 100", got)
+	}
+	if st.TotalMsgs() != 0 {
+		t.Error("local send counted as traffic")
+	}
+}
+
+func TestRemoteSendLatency(t *testing.T) {
+	nw, st := newNet(t, 4)
+	// Header-only message: 8 bytes / 8 B/cy = 1 cycle occupancy.
+	got := nw.Send(0, 1, stats.MsgReadReq, 100)
+	want := uint64(100 + 1 + 40 + 1) // egress occ + hop + ingress occ
+	if got != want {
+		t.Errorf("arrival = %d, want %d", got, want)
+	}
+	if st.Msgs[stats.MsgReadReq] != 1 {
+		t.Error("message not counted")
+	}
+}
+
+func TestDataMessageOccupancy(t *testing.T) {
+	nw, _ := newNet(t, 4)
+	// Data message: (8+32)/8 = 5 cycles occupancy each side.
+	got := nw.Send(0, 1, stats.MsgReadReply, 0)
+	want := uint64(5 + 40 + 5)
+	if got != want {
+		t.Errorf("data arrival = %d, want %d", got, want)
+	}
+}
+
+func TestEgressContention(t *testing.T) {
+	nw, _ := newNet(t, 4)
+	a := nw.Send(0, 1, stats.MsgReadReq, 100)
+	b := nw.Send(0, 2, stats.MsgReadReq, 100) // same egress port, later departure
+	if b <= a {
+		t.Errorf("second message on busy egress arrived at %d, first at %d", b, a)
+	}
+	if b != a+1 { // serialized by 1 cycle of egress occupancy
+		t.Errorf("contended arrival = %d, want %d", b, a+1)
+	}
+}
+
+func TestIngressContention(t *testing.T) {
+	nw, _ := newNet(t, 4)
+	a := nw.Send(1, 0, stats.MsgReadReq, 100)
+	b := nw.Send(2, 0, stats.MsgReadReq, 100) // different egress, same ingress
+	if a == b {
+		t.Error("two messages finished receiving at the same ingress simultaneously")
+	}
+}
+
+func TestNoContentionAcrossDisjointPairs(t *testing.T) {
+	nw, _ := newNet(t, 4)
+	a := nw.Send(0, 1, stats.MsgReadReq, 100)
+	b := nw.Send(2, 3, stats.MsgReadReq, 100)
+	if a != b {
+		t.Errorf("disjoint transfers interfered: %d vs %d", a, b)
+	}
+}
+
+// TestArrivalMonotonicity: a message can never arrive before it was sent
+// plus the minimum latency, and port busy-until times never decrease.
+func TestArrivalMonotonicity(t *testing.T) {
+	f := func(ops []uint16) bool {
+		st := stats.New(4)
+		nw, err := New(Config{HopDelay: 40, BytesPerCycle: 8, BlockSize: 32}, 4, st)
+		if err != nil {
+			return false
+		}
+		var lastEgress [4]uint64
+		now := uint64(0)
+		for _, op := range ops {
+			from := memNode(op & 3)
+			to := memNode((op >> 2) & 3)
+			now += uint64(op >> 12) // advance time irregularly
+			arr := nw.Send(from, to, stats.MsgReadReq, now)
+			if from == to {
+				if arr != now {
+					return false
+				}
+				continue
+			}
+			if arr < now+42 { // occupancy 1 + hop 40 + occupancy 1
+				return false
+			}
+			eg, _ := nw.PortBusyUntil(from)
+			if eg < lastEgress[from] {
+				return false
+			}
+			lastEgress[from] = eg
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrafficBytesAccumulate(t *testing.T) {
+	nw, st := newNet(t, 2)
+	nw.Send(0, 1, stats.MsgReadReq, 0)
+	nw.Send(1, 0, stats.MsgReadReply, 50)
+	if st.TotalBytes() != 8+(8+32) {
+		t.Errorf("TotalBytes = %d", st.TotalBytes())
+	}
+}
+
+func memNode(v uint16) memory.NodeID { return memory.NodeID(v) }
+
+func TestTopologyStrings(t *testing.T) {
+	if PointToPoint.String() != "point-to-point" || Mesh2D.String() != "mesh2d" {
+		t.Error("topology strings wrong")
+	}
+	if Topology(9).String() == "" {
+		t.Error("unknown topology string empty")
+	}
+}
+
+func TestMeshHops(t *testing.T) {
+	st := stats.New(16)
+	nw, err := New(Config{HopDelay: 40, BytesPerCycle: 8, BlockSize: 32, Topology: Mesh2D}, 16, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x4 mesh: node layout row-major.
+	cases := []struct {
+		from, to memory.NodeID
+		hops     int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},  // same row, adjacent
+		{0, 4, 1},  // same column, adjacent
+		{0, 5, 2},  // diagonal neighbour
+		{0, 15, 6}, // opposite corner of a 4x4 mesh
+		{3, 12, 6}, // other diagonal
+		{5, 6, 1},
+	}
+	for _, c := range cases {
+		if got := nw.Hops(c.from, c.to); got != c.hops {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.from, c.to, got, c.hops)
+		}
+		if got := nw.Hops(c.to, c.from); got != c.hops {
+			t.Errorf("Hops(%d,%d) not symmetric", c.to, c.from)
+		}
+	}
+}
+
+func TestMeshDelayScalesWithDistance(t *testing.T) {
+	st := stats.New(16)
+	nw, err := New(Config{HopDelay: 40, BytesPerCycle: 8, BlockSize: 32, Topology: Mesh2D}, 16, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := nw.Send(0, 1, stats.MsgReadReq, 0)
+	far := nw.Send(2, 13, stats.MsgReadReq, 0) // distinct ports, distance 4
+	if far <= near {
+		t.Errorf("far delivery %d not after near %d", far, near)
+	}
+	if want := near + 3*40; far != want {
+		t.Errorf("far delivery %d, want %d (3 extra hops)", far, want)
+	}
+}
+
+func TestPointToPointUnchangedByTopologyDefault(t *testing.T) {
+	st := stats.New(4)
+	nw, err := New(Config{HopDelay: 40, BytesPerCycle: 8, BlockSize: 32}, 4, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Hops(0, 3) != 1 {
+		t.Error("default topology not single-hop")
+	}
+}

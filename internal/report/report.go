@@ -1,0 +1,228 @@
+// Package report renders the paper's figures and tables as text: the
+// three-panel behaviour figures (execution time, traffic, global read
+// misses — Figures 3, 4, 6, 7), the invalidation-traffic figure
+// (Figure 5), and Tables 2-4.
+//
+// All figure quantities are normalized to the Baseline protocol = 100, as
+// in the paper.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lsnuma"
+)
+
+// barWidth is the character width of the normalized bars.
+const barWidth = 40
+
+// segment glyphs for the stacked bars, one per component.
+var glyphs = []rune{'█', '▒', '░', '·'}
+
+// normBar renders one stacked horizontal bar. values are in normalized
+// units where 100 = the full barWidth.
+func normBar(label string, total float64, parts []float64, names []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-10s %6.1f |", label, total)
+	drawn := 0
+	for i, v := range parts {
+		n := int(v / 100 * barWidth)
+		if n < 0 {
+			n = 0
+		}
+		b.WriteString(strings.Repeat(string(glyphs[i%len(glyphs)]), n))
+		drawn += n
+	}
+	if drawn > barWidth {
+		drawn = barWidth
+	}
+	b.WriteString(strings.Repeat(" ", maxInt(0, barWidth+4-drawn)))
+	for i, v := range parts {
+		fmt.Fprintf(&b, " %s %.1f", names[i], v)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ordered returns results in the paper's presentation order.
+func ordered(res map[lsnuma.Protocol]*lsnuma.Result) []*lsnuma.Result {
+	var out []*lsnuma.Result
+	for _, p := range lsnuma.Protocols() {
+		if r, ok := res[p]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// BehaviorFigure renders the three-panel behaviour figure for one
+// workload (the paper's Figures 3/4/6/7): normalized execution time split
+// into busy / read stall / write stall, normalized traffic split into the
+// three message categories, and normalized global read misses split by
+// home-state class.
+func BehaviorFigure(title string, res map[lsnuma.Protocol]*lsnuma.Result) string {
+	rs := ordered(res)
+	if len(rs) == 0 {
+		return "(no results)"
+	}
+	base := res[lsnuma.Baseline]
+	if base == nil {
+		base = rs[0]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", title)
+
+	// Panel 1: execution time.
+	fmt.Fprintf(&b, "\nNormalized execution time (Baseline = 100)\n")
+	baseExec := float64(base.ExecTime)
+	for _, r := range rs {
+		scale := 100 / baseExec
+		cpuTotal := float64(r.Busy + r.ReadStall + r.WriteStall)
+		// Decompose the machine exec time proportionally to the summed
+		// per-CPU cycle categories.
+		f := float64(r.ExecTime) / cpuTotal
+		parts := []float64{
+			float64(r.Busy) * f * scale,
+			float64(r.ReadStall) * f * scale,
+			float64(r.WriteStall) * f * scale,
+		}
+		b.WriteString(normBar(r.Protocol, float64(r.ExecTime)*scale, parts,
+			[]string{"busy", "read-stall", "write-stall"}) + "\n")
+	}
+
+	// Panel 2: traffic (messages).
+	fmt.Fprintf(&b, "\nNormalized amount of messages (Baseline = 100)\n")
+	baseMsgs := float64(base.Msgs)
+	for _, r := range rs {
+		scale := 100 / baseMsgs
+		parts := []float64{
+			float64(r.ClassMsgs[0]) * scale,
+			float64(r.ClassMsgs[1]) * scale,
+			float64(r.ClassMsgs[2]) * scale,
+		}
+		b.WriteString(normBar(r.Protocol, float64(r.Msgs)*scale, parts,
+			[]string{"read", "write", "other"}) + "\n")
+	}
+
+	// Panel 3: global read misses.
+	fmt.Fprintf(&b, "\nNormalized global read misses (Baseline = 100)\n")
+	baseMisses := float64(base.GlobalReadMisses())
+	for _, r := range rs {
+		scale := 100 / baseMisses
+		parts := []float64{
+			float64(r.ReadMisses[0]) * scale,
+			float64(r.ReadMisses[1]) * scale,
+			float64(r.ReadMisses[2]) * scale,
+			float64(r.ReadMisses[3]) * scale,
+		}
+		b.WriteString(normBar(r.Protocol, float64(r.GlobalReadMisses())*scale, parts,
+			[]string{"clean", "dirty", "clean-excl", "dirty-excl"}) + "\n")
+	}
+	return b.String()
+}
+
+// InvalidationFigure renders Figure 5: normalized invalidation traffic
+// (ownership acquisitions vs individual invalidations) for a set of runs
+// at different processor counts, normalized to the Baseline run at each
+// count.
+func InvalidationFigure(title string, byProcs map[int]map[lsnuma.Protocol]*lsnuma.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", title)
+	var counts []int
+	for n := range byProcs {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	for _, n := range counts {
+		res := byProcs[n]
+		base := res[lsnuma.Baseline]
+		if base == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%d processors (Baseline = 100; global inv's + invalidations)\n", n)
+		baseTotal := float64(base.GlobalInv + base.Invalidations)
+		for _, r := range ordered(res) {
+			scale := 100 / baseTotal
+			parts := []float64{
+				float64(r.GlobalInv) * scale,
+				float64(r.Invalidations) * scale,
+			}
+			total := float64(r.GlobalInv+r.Invalidations) * scale
+			b.WriteString(normBar(fmt.Sprintf("%s-%d", r.Protocol, n), total, parts,
+				[]string{"global-inv", "invalidations"}) + "\n")
+		}
+	}
+	return b.String()
+}
+
+// Table2 renders the occurrence of load-store sequences and migratory
+// behaviour per source class (the paper's Table 2). The run should be a
+// Baseline OLTP run so the stream is unperturbed by the optimizations.
+func Table2(r *lsnuma.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Occurrence of load-store sequences and migratory behavior (%s)\n", r.Workload)
+	fmt.Fprintf(&b, "%-40s %8s %9s %6s %7s\n", "Fraction of accesses", "MySQL", "Libraries", "OS", "Total")
+	fmt.Fprintf(&b, "%-40s %7.1f%% %8.1f%% %5.1f%% %6.1f%%\n",
+		"load-store of all global write actions",
+		100*r.Sources[0].LoadStoreFrac, 100*r.Sources[1].LoadStoreFrac,
+		100*r.Sources[2].LoadStoreFrac, 100*r.Total.LoadStoreFrac)
+	fmt.Fprintf(&b, "%-40s %7.1f%% %8.1f%% %5.1f%% %6.1f%%\n",
+		"migratory of load-store sequences",
+		100*r.Sources[0].MigratoryFrac, 100*r.Sources[1].MigratoryFrac,
+		100*r.Sources[2].MigratoryFrac, 100*r.Total.MigratoryFrac)
+	return b.String()
+}
+
+// Table3 renders the coverage table (the paper's Table 3): the fraction
+// of load-store and migratory global writes each technique removed.
+func Table3(ls, ad *lsnuma.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Coverage of LS and AD for load-store and migratory sequences (%s)\n", ls.Workload)
+	fmt.Fprintf(&b, "%-10s %11s %10s\n", "Technique", "Load-Store", "Migratory")
+	fmt.Fprintf(&b, "%-10s %10.1f%% %9.1f%%\n", "LS",
+		100*ls.Coverage.LoadStoreCoverage, 100*ls.Coverage.MigratoryCoverage)
+	fmt.Fprintf(&b, "%-10s %10.1f%% %9.1f%%\n", "AD",
+		100*ad.Coverage.LoadStoreCoverage, 100*ad.Coverage.MigratoryCoverage)
+	return b.String()
+}
+
+// Table4 renders the false-sharing table (the paper's Table 4): the
+// fraction of data misses due to false sharing per block size.
+func Table4(byBlock map[uint64]*lsnuma.Result) string {
+	var sizes []int
+	for s := range byBlock {
+		sizes = append(sizes, int(s))
+	}
+	sort.Ints(sizes)
+	var b strings.Builder
+	b.WriteString("Table 4: Impact of cache block size on the fraction of false-sharing misses\n")
+	b.WriteString("Block size (Bytes)      ")
+	for _, s := range sizes {
+		fmt.Fprintf(&b, "%7d", s)
+	}
+	b.WriteString("\nFalse sharing (steady)  ")
+	for _, s := range sizes {
+		fmt.Fprintf(&b, " %5.1f%%", 100*byBlock[uint64(s)].FalseSharingSteadyFrac)
+	}
+	b.WriteString("\nFalse sharing (all)     ")
+	for _, s := range sizes {
+		fmt.Fprintf(&b, " %5.1f%%", 100*byBlock[uint64(s)].FalseSharingFrac)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Summary renders a one-line summary of a result for logs and sweeps.
+func Summary(r *lsnuma.Result) string {
+	return fmt.Sprintf("%-9s %-9s exec=%d busy=%d rstall=%d wstall=%d msgs=%d bytes=%d gInv=%d wMiss=%d inv=%d elim=%d",
+		r.Workload, r.Protocol, r.ExecTime, r.Busy, r.ReadStall, r.WriteStall,
+		r.Msgs, r.Bytes, r.GlobalInv, r.GlobalWriteMisses, r.Invalidations, r.EliminatedOwnership)
+}

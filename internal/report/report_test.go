@@ -1,0 +1,136 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"lsnuma"
+)
+
+func fakeResults() map[lsnuma.Protocol]*lsnuma.Result {
+	mk := func(proto string, exec, busy, rs, ws, msgs uint64) *lsnuma.Result {
+		r := &lsnuma.Result{
+			Workload: "fake", Protocol: proto,
+			ExecTime: exec, Busy: busy, ReadStall: rs, WriteStall: ws,
+			Msgs: msgs,
+		}
+		r.ClassMsgs = [3]uint64{msgs / 2, msgs / 4, msgs - msgs/2 - msgs/4}
+		r.ReadMisses = [4]uint64{10, 5, 1, 2}
+		r.GlobalInv = 100
+		r.Invalidations = 60
+		return r
+	}
+	return map[lsnuma.Protocol]*lsnuma.Result{
+		lsnuma.Baseline: mk("Baseline", 1000, 300, 400, 300, 4000),
+		lsnuma.AD:       mk("AD", 830, 300, 400, 130, 3300),
+		lsnuma.LS:       mk("LS", 770, 300, 410, 60, 3000),
+	}
+}
+
+func TestBehaviorFigureContents(t *testing.T) {
+	out := BehaviorFigure("Figure X", fakeResults())
+	for _, want := range []string{
+		"Figure X",
+		"Normalized execution time",
+		"Normalized amount of messages",
+		"Normalized global read misses",
+		"Baseline", "AD", "LS",
+		"busy", "read-stall", "write-stall",
+		"clean", "dirty-excl",
+		"100.0", // baseline normalization
+		"83.0",  // AD exec
+		"77.0",  // LS exec
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBehaviorFigureEmpty(t *testing.T) {
+	if out := BehaviorFigure("x", nil); !strings.Contains(out, "no results") {
+		t.Errorf("empty figure = %q", out)
+	}
+}
+
+func TestBehaviorFigureWithoutBaseline(t *testing.T) {
+	res := fakeResults()
+	delete(res, lsnuma.Baseline)
+	out := BehaviorFigure("x", res)
+	// Normalizes against the first protocol present instead of crashing.
+	if !strings.Contains(out, "AD") || !strings.Contains(out, "LS") {
+		t.Errorf("figure without baseline = %q", out)
+	}
+}
+
+func TestInvalidationFigure(t *testing.T) {
+	byProcs := map[int]map[lsnuma.Protocol]*lsnuma.Result{
+		4:  fakeResults(),
+		16: fakeResults(),
+	}
+	out := InvalidationFigure("Figure 5", byProcs)
+	for _, want := range []string{"4 processors", "16 processors", "global-inv", "invalidations", "Baseline-4", "LS-16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("invalidation figure missing %q:\n%s", want, out)
+		}
+	}
+	// Processor counts must appear in ascending order.
+	if strings.Index(out, "4 processors") > strings.Index(out, "16 processors") {
+		t.Error("processor counts not sorted")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r := &lsnuma.Result{Workload: "oltp"}
+	r.Sources[0] = lsnuma.SourceRow{LoadStoreFrac: 0.304, MigratoryFrac: 0.429}
+	r.Sources[1] = lsnuma.SourceRow{LoadStoreFrac: 0.256, MigratoryFrac: 0.474}
+	r.Sources[2] = lsnuma.SourceRow{LoadStoreFrac: 0.476, MigratoryFrac: 0.511}
+	r.Total = lsnuma.SourceRow{LoadStoreFrac: 0.42, MigratoryFrac: 0.471}
+	out := Table2(r)
+	for _, want := range []string{"Table 2", "MySQL", "Libraries", "OS", "Total", "30.4%", "47.4%", "42.0%", "51.1%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	ls := &lsnuma.Result{Workload: "oltp", Coverage: lsnuma.CoverageRow{LoadStoreCoverage: 0.576, MigratoryCoverage: 1.0}}
+	ad := &lsnuma.Result{Workload: "oltp", Coverage: lsnuma.CoverageRow{LoadStoreCoverage: 0.317, MigratoryCoverage: 0.476}}
+	out := Table3(ls, ad)
+	for _, want := range []string{"Table 3", "LS", "AD", "57.6%", "100.0%", "31.7%", "47.6%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4SortedAndFormatted(t *testing.T) {
+	byBlock := map[uint64]*lsnuma.Result{
+		64:  {FalseSharingSteadyFrac: 0.379, FalseSharingFrac: 0.1},
+		16:  {FalseSharingSteadyFrac: 0.199, FalseSharingFrac: 0.05},
+		256: {FalseSharingSteadyFrac: 0.485, FalseSharingFrac: 0.2},
+	}
+	out := Table4(byBlock)
+	for _, want := range []string{"Table 4", "19.9%", "37.9%", "48.5%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "16") > strings.Index(out, "256") {
+		t.Error("block sizes not sorted")
+	}
+}
+
+func TestSummaryOneLine(t *testing.T) {
+	r := &lsnuma.Result{Workload: "mp3d", Protocol: "LS", ExecTime: 42}
+	out := Summary(r)
+	if strings.Contains(out, "\n") {
+		t.Error("Summary spans multiple lines")
+	}
+	for _, want := range []string{"mp3d", "LS", "exec=42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Summary missing %q: %s", want, out)
+		}
+	}
+}

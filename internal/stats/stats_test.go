@@ -1,0 +1,158 @@
+package stats
+
+import "testing"
+
+func TestMsgClassMapping(t *testing.T) {
+	wantRead := []MsgType{MsgReadReq, MsgReadFwd, MsgReadReply, MsgSharingWB}
+	wantWrite := []MsgType{MsgOwnReq, MsgOwnAck, MsgWriteReq, MsgWriteFwd, MsgWriteReply, MsgInval, MsgInvalAck}
+	wantOther := []MsgType{MsgWriteback, MsgReplHint, MsgNotLS, MsgUpdate, MsgRetry}
+	for _, m := range wantRead {
+		if m.Class() != ReadClass {
+			t.Errorf("%v class = %v, want read", m, m.Class())
+		}
+	}
+	for _, m := range wantWrite {
+		if m.Class() != WriteClass {
+			t.Errorf("%v class = %v, want write", m, m.Class())
+		}
+	}
+	for _, m := range wantOther {
+		if m.Class() != OtherClass {
+			t.Errorf("%v class = %v, want other", m, m.Class())
+		}
+	}
+	if len(wantRead)+len(wantWrite)+len(wantOther) != int(NumMsgTypes) {
+		t.Errorf("class mapping test does not cover all %d message types", NumMsgTypes)
+	}
+}
+
+func TestCarriesData(t *testing.T) {
+	carrying := map[MsgType]bool{
+		MsgReadReply: true, MsgWriteReply: true, MsgSharingWB: true,
+		MsgWriteback: true, MsgUpdate: true,
+	}
+	for m := MsgType(0); m < NumMsgTypes; m++ {
+		if m.CarriesData() != carrying[m] {
+			t.Errorf("%v.CarriesData() = %v", m, m.CarriesData())
+		}
+	}
+}
+
+func TestAddMsgBytes(t *testing.T) {
+	s := New(4)
+	s.AddMsg(MsgReadReq, 32)
+	s.AddMsg(MsgReadReply, 32)
+	if s.Msgs[MsgReadReq] != 1 || s.Msgs[MsgReadReply] != 1 {
+		t.Fatal("message counts wrong")
+	}
+	if s.MsgBytes[MsgReadReq] != HeaderBytes {
+		t.Errorf("header-only bytes = %d", s.MsgBytes[MsgReadReq])
+	}
+	if s.MsgBytes[MsgReadReply] != HeaderBytes+32 {
+		t.Errorf("data-carrying bytes = %d", s.MsgBytes[MsgReadReply])
+	}
+	if s.TotalMsgs() != 2 {
+		t.Errorf("TotalMsgs = %d", s.TotalMsgs())
+	}
+	if s.TotalBytes() != 2*HeaderBytes+32 {
+		t.Errorf("TotalBytes = %d", s.TotalBytes())
+	}
+}
+
+func TestClassAggregation(t *testing.T) {
+	s := New(1)
+	s.AddMsg(MsgReadReq, 16)
+	s.AddMsg(MsgReadReply, 16)
+	s.AddMsg(MsgInval, 16)
+	s.AddMsg(MsgRetry, 16)
+	msgs := s.ClassMsgs()
+	if msgs[ReadClass] != 2 || msgs[WriteClass] != 1 || msgs[OtherClass] != 1 {
+		t.Errorf("ClassMsgs = %v", msgs)
+	}
+	bytes := s.ClassBytes()
+	if bytes[ReadClass] != 2*HeaderBytes+16 || bytes[WriteClass] != HeaderBytes || bytes[OtherClass] != HeaderBytes {
+		t.Errorf("ClassBytes = %v", bytes)
+	}
+}
+
+func TestExecTimeIsMax(t *testing.T) {
+	s := New(3)
+	s.CPUs[0] = CPU{Busy: 10, ReadStall: 5, WriteStall: 2}
+	s.CPUs[1] = CPU{Busy: 30}
+	s.CPUs[2] = CPU{Busy: 1, ReadStall: 1, WriteStall: 40}
+	if got := s.ExecTime(); got != 42 {
+		t.Errorf("ExecTime = %d, want 42", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	s := New(2)
+	s.CPUs[0] = CPU{Busy: 1, ReadStall: 2, WriteStall: 3, Loads: 4, Stores: 5, L1Hits: 6, L2Hits: 7, GlobalOps: 8}
+	s.CPUs[1] = CPU{Busy: 10, ReadStall: 20, WriteStall: 30, Loads: 40, Stores: 50, L1Hits: 60, L2Hits: 70, GlobalOps: 80}
+	got := s.Sum()
+	want := CPU{Busy: 11, ReadStall: 22, WriteStall: 33, Loads: 44, Stores: 55, L1Hits: 66, L2Hits: 77, GlobalOps: 88}
+	if got != want {
+		t.Errorf("Sum = %+v, want %+v", got, want)
+	}
+}
+
+func TestReadMissTotalsAndStrings(t *testing.T) {
+	s := New(1)
+	s.ReadMisses[MissClean] = 3
+	s.ReadMisses[MissDirty] = 2
+	s.ReadMisses[MissCleanExcl] = 1
+	s.ReadMisses[MissDirtyExcl] = 4
+	if s.GlobalReadMisses() != 10 {
+		t.Errorf("GlobalReadMisses = %d", s.GlobalReadMisses())
+	}
+	for m, want := range map[ReadMissClass]string{
+		MissClean: "Clean", MissDirty: "Dirty",
+		MissCleanExcl: "Clean exclusive", MissDirtyExcl: "Dirty exclusive",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", uint8(m), m.String())
+		}
+	}
+}
+
+func TestInvalidationsPerGlobalWrite(t *testing.T) {
+	s := New(1)
+	if s.InvalidationsPerGlobalWrite() != 0 {
+		t.Error("zero-division not handled")
+	}
+	s.WritesToShared = 10
+	s.Invalidations = 14
+	if got := s.InvalidationsPerGlobalWrite(); got != 1.4 {
+		t.Errorf("InvalidationsPerGlobalWrite = %v", got)
+	}
+}
+
+func TestGlobalWrites(t *testing.T) {
+	s := New(1)
+	s.GlobalInv = 3
+	s.GlobalWriteMisses = 4
+	if s.GlobalWrites() != 7 {
+		t.Errorf("GlobalWrites = %d", s.GlobalWrites())
+	}
+}
+
+func TestCPUTotal(t *testing.T) {
+	c := CPU{Busy: 1, ReadStall: 2, WriteStall: 3}
+	if c.Total() != 6 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}
+
+func TestEnumStringsNonEmpty(t *testing.T) {
+	for m := MsgType(0); m < NumMsgTypes; m++ {
+		if m.String() == "" {
+			t.Errorf("MsgType %d has empty name", m)
+		}
+	}
+	if MsgType(200).String() == "" || ReadMissClass(200).String() == "" || Class(200).String() == "" {
+		t.Error("out-of-range enums have empty strings")
+	}
+	if ReadClass.String() != "read" || WriteClass.String() != "write" || OtherClass.String() != "other" {
+		t.Error("class strings wrong")
+	}
+}

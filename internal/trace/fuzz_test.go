@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the trace parser: it must never
+// panic, and any trace it accepts must survive a write/read round trip
+// unchanged.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid two-record trace.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.Append(Op{CPU: 1, Addr: 0x40, Size: 8, Compute: 3})
+	w.Append(Op{CPU: 2, Addr: 0x80, Size: 4, RMW: true})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("LSTR"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		w, err := NewWriter(&out, tr.CPUs)
+		if err != nil {
+			t.Fatalf("accepted trace has unwritable CPU count %d: %v", tr.CPUs, err)
+		}
+		for _, op := range tr.Ops {
+			if err := w.Append(op); err != nil {
+				t.Fatalf("accepted op %+v not writable: %v", op, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted trace failed: %v", err)
+		}
+		if back.CPUs != tr.CPUs || len(back.Ops) != len(tr.Ops) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.CPUs, len(back.Ops), tr.CPUs, len(tr.Ops))
+		}
+		for i := range tr.Ops {
+			if back.Ops[i] != tr.Ops[i] {
+				t.Fatalf("round trip changed op %d", i)
+			}
+		}
+	})
+}

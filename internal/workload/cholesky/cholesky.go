@@ -1,0 +1,319 @@
+// Package cholesky reimplements the SPLASH-2 Cholesky benchmark kernel:
+// task-queue-driven sparse supernodal factorization. The tk15.0 input
+// matrix is not available offline; a deterministic synthetic elimination
+// structure with the same shape parameters stands in for it (see
+// DESIGN.md).
+//
+// The sharing structure the paper's analysis relies on is preserved:
+//
+//   - Supernodes are partitioned over the processors with subtree
+//     locality (contiguous column ranges), and all modifications of a
+//     column are performed by its owner — so column data does NOT migrate
+//     at four processors. The paper finds "virtually no migrating data
+//     objects" at four processors, ownership requests without a single
+//     invalidation dominating the write overhead, and AD consequently
+//     unable to remove any of it (§5.2).
+//
+//   - Column modifications (cmod) read-modify-write the owner's column
+//     data: load-store sequences to data that is re-fetched after
+//     conflict/capacity evictions — the data footprint is sized well past
+//     the 64 kB L2 — which is exactly the ownership overhead LS removes.
+//
+//   - Work is distributed through per-processor task queues; cross-chunk
+//     updates push tasks into other processors' queues, so queue blocks
+//     are contended and migrate increasingly as the processor count grows
+//     (the Figure 5 effect at 16 and 32 processors).
+package cholesky
+
+import (
+	"fmt"
+	"sort"
+
+	"lsnuma/internal/engine"
+	"lsnuma/internal/workload"
+)
+
+// Config sets the synthetic problem shape.
+type Config struct {
+	// Columns is the number of supernodal columns.
+	Columns int
+	// MinHeight/MaxHeight bound the column heights in doubles.
+	MinHeight, MaxHeight int
+	// MaxUpdates bounds the out-degree of a column in the elimination
+	// structure (how many later columns it updates).
+	MaxUpdates int
+	// Seed for the deterministic structure generator.
+	Seed int64
+}
+
+// ConfigFor returns the configuration for a scale. The data footprint must
+// exceed the 64 kB L2 — the paper's Cholesky effect is ownership overhead
+// on columns re-fetched after conflict/capacity evictions.
+func ConfigFor(scale workload.Scale) Config {
+	switch scale {
+	case workload.ScaleTest:
+		return Config{Columns: 600, MinHeight: 64, MaxHeight: 128, MaxUpdates: 4, Seed: 7}
+	case workload.ScaleSmall:
+		return Config{Columns: 900, MinHeight: 64, MaxHeight: 144, MaxUpdates: 5, Seed: 7}
+	default:
+		// Work comparable to tk15.0 at the paper's cache sizes.
+		return Config{Columns: 1500, MinHeight: 64, MaxHeight: 160, MaxUpdates: 6, Seed: 7}
+	}
+}
+
+// Cholesky is the workload object.
+type Cholesky struct {
+	cfg  Config
+	cpus int
+}
+
+// New constructs the workload for the given scale and processor count.
+func New(scale workload.Scale, cpus int) workload.Workload {
+	return &Cholesky{cfg: ConfigFor(scale), cpus: cpus}
+}
+
+// NewWithConfig constructs the workload with an explicit configuration.
+func NewWithConfig(cfg Config, cpus int) *Cholesky {
+	return &Cholesky{cfg: cfg, cpus: cpus}
+}
+
+// Name implements workload.Workload.
+func (w *Cholesky) Name() string { return "cholesky" }
+
+// structureFor generates the synthetic elimination structure: per-column
+// heights and update targets (strictly increasing column indices, skewed
+// toward nearby columns as in a real elimination tree). The structure is
+// a forest whose subtrees align with the processor chunks (the supernodal
+// partitioning assigns whole subtrees to processors), so updates stay
+// almost entirely within a chunk and the processors run independently —
+// without this, chunk-crossing chains serialize the machine into a
+// pipeline and idle time swamps the measurement.
+func structureFor(cfg Config, cpus int) (heights []int, targets [][]int) {
+	if cpus < 1 {
+		cpus = 1
+	}
+	rng := workload.Rand(cfg.Seed)
+	heights = make([]int, cfg.Columns)
+	targets = make([][]int, cfg.Columns)
+	chunkOf := func(col int) int { return col * cpus / cfg.Columns }
+	for j := 0; j < cfg.Columns; j++ {
+		heights[j] = cfg.MinHeight + rng.Intn(cfg.MaxHeight-cfg.MinHeight+1)
+		n := rng.Intn(cfg.MaxUpdates + 1)
+		seen := map[int]bool{}
+		for t := 0; t < n; t++ {
+			// Geometric-ish skew toward near columns (elimination-tree
+			// locality).
+			gap := 1 + rng.Intn(8)*rng.Intn(8)
+			k := j + gap
+			if k >= cfg.Columns || seen[k] {
+				continue
+			}
+			if chunkOf(k) != chunkOf(j) && rng.Intn(100) < 85 {
+				// Subtree locality: only a small fraction of updates
+				// cross the chunk boundary (the elimination forest's
+				// shared ancestors).
+				continue
+			}
+			seen[k] = true
+			targets[j] = append(targets[j], k)
+		}
+		sort.Ints(targets[j])
+	}
+	return heights, targets
+}
+
+// owner returns the processor owning a column: contiguous chunks model the
+// subtree partitioning of the supernodal elimination tree.
+func (w *Cholesky) owner(col int) int {
+	return col * w.cpus / w.cfg.Columns
+}
+
+// Programs implements workload.Workload.
+func (w *Cholesky) Programs(m *engine.Machine) ([]engine.Program, error) {
+	cfg := w.cfg
+	if cfg.Columns < 1 || cfg.MinHeight < 1 || cfg.MaxHeight < cfg.MinHeight {
+		return nil, fmt.Errorf("cholesky: bad config %+v", cfg)
+	}
+	if cfg.Columns < w.cpus {
+		return nil, fmt.Errorf("cholesky: %d columns for %d CPUs", cfg.Columns, w.cpus)
+	}
+	alloc := m.Alloc()
+	heights, targets := structureFor(cfg, w.cpus)
+
+	// Column data: one contiguous region, column j at colOff[j].
+	total := 0
+	colOff := make([]int, cfg.Columns)
+	for j, h := range heights {
+		colOff[j] = total
+		total += h
+	}
+	data := workload.NewF64(alloc, "column-data", total)
+	for i := 0; i < total; i++ {
+		data.Poke(i, 1.0+float64(i%17)*0.25)
+	}
+
+	// Dependency counts (touched only by each column's owner).
+	deps := workload.NewI32(alloc, "dep-counts", cfg.Columns)
+	indeg := make([]int, cfg.Columns)
+	for _, ts := range targets {
+		for _, k := range ts {
+			indeg[k]++
+		}
+	}
+	for j, d := range indeg {
+		deps.Poke(j, int32(d))
+	}
+
+	// Per-processor task queues: a ring of encoded tasks plus head/tail
+	// cursors, each under its owner's lock. Task encoding: a cdiv of
+	// column j is -(j+1); a cmod of column k from source j is
+	// j*Columns + k. The head cursor (written only by the consumer) and
+	// the tail cursor (written by producers) live in separate cache
+	// blocks — colocating them would ping-pong a block on every push/pop
+	// pair, a false-sharing artifact no real runqueue has.
+	const ringSize = 4096
+	type queue struct {
+		ring *workload.I32
+		tail *workload.I32
+		head *workload.I32
+		lock *engine.Lock
+		// host-side mirror (the simulated ring words mirror these)
+		tasks []int32
+		hd    int
+	}
+	queues := make([]*queue, w.cpus)
+	for i := range queues {
+		q := &queue{ring: workload.NewI32(alloc, "task-queues", ringSize)}
+		alloc.AllocBlocks("task-queue-pad", 64)
+		q.tail = workload.NewI32(alloc, "task-queue-cursors", 1)
+		alloc.AllocBlocks("task-queue-pad", 64)
+		q.head = workload.NewI32(alloc, "task-queue-cursors", 1)
+		alloc.AllocBlocks("task-queue-pad", 64)
+		q.lock = engine.NewLock(alloc, "task-queue-locks")
+		alloc.AllocBlocks("task-queue-pad", 64)
+		queues[i] = q
+	}
+	doneCount := workload.NewI32(alloc, "done-count", 1)
+
+	push := func(p *engine.Proc, who int, task int32) {
+		q := queues[who]
+		q.lock.Acquire(p)
+		slot := len(q.tasks) % ringSize
+		q.ring.Set(p, slot, task)               // ring entry
+		q.tail.Set(p, 0, int32(len(q.tasks)+1)) // tail cursor
+		q.tasks = append(q.tasks, task)
+		q.lock.Release(p)
+	}
+	pop := func(p *engine.Proc) (int32, bool) {
+		id := int(p.ID())
+		q := queues[id]
+		// Fast check of the tail cursor before taking the lock (the
+		// consumer's copy stays cached until a producer advances it).
+		q.tail.Get(p, 0)
+		if q.hd == len(q.tasks) {
+			return 0, false
+		}
+		q.lock.Acquire(p)
+		if q.hd == len(q.tasks) {
+			q.lock.Release(p)
+			return 0, false
+		}
+		task := q.ring.Get(p, q.hd%ringSize)
+		q.head.Set(p, 0, int32(q.hd+1)) // consumer-private head cursor
+		task = q.tasks[q.hd]
+		q.hd++
+		q.lock.Release(p)
+		return task, true
+	}
+
+	// Seed: cdiv tasks for columns with no dependencies.
+	for j, d := range indeg {
+		if d == 0 {
+			q := queues[w.owner(j)]
+			q.tasks = append(q.tasks, int32(-(j + 1)))
+		}
+	}
+
+	progs := make([]engine.Program, w.cpus)
+	for cpu := 0; cpu < w.cpus; cpu++ {
+		progs[cpu] = func(p *engine.Proc) {
+			finish := func(j int) {
+				// Column j is fully factored: hand its updates to the
+				// owners of the target columns.
+				for _, k := range targets[j] {
+					push(p, w.owner(k), int32(j*cfg.Columns+k))
+				}
+				doneCount.Add(p, 0, 1)
+			}
+			for {
+				p.Read(doneCount.Addr(0))
+				if doneCount.Peek(0) >= int32(cfg.Columns) {
+					return
+				}
+				task, ok := pop(p)
+				if !ok {
+					p.Compute(400 + p.Rand().Intn(400)) // idle backoff
+					continue
+				}
+				if task < 0 {
+					j := int(-task) - 1
+					w.cdiv(p, data, colOff[j], heights[j])
+					finish(j)
+					continue
+				}
+				j := int(task) / cfg.Columns
+				k := int(task) % cfg.Columns
+				w.cmod(p, data, colOff[k], heights[k], colOff[j], heights[j])
+				if deps.Add(p, k, -1) == 0 {
+					w.cdiv(p, data, colOff[k], heights[k])
+					finish(k)
+				}
+			}
+		}
+	}
+	return progs, nil
+}
+
+// cdiv scales a column by its diagonal: a read-modify-write sweep over the
+// column's data (load-store sequences by the owner).
+func (w *Cholesky) cdiv(p *engine.Proc, data *workload.F64, off, h int) {
+	diag := data.Get(p, off)
+	if diag <= 0 {
+		diag = 1
+	}
+	p.Compute(30) // sqrt
+	inv := 1.0 / diag
+	for i := 1; i < h; i++ {
+		data.Update(p, off+i, func(v float64) float64 { return v * inv })
+		p.Compute(4)
+	}
+}
+
+// cmod applies one column update: target[i] -= src[i']·scale, reading the
+// (completed, read-only) source column and read-modify-writing the
+// owner's target column.
+func (w *Cholesky) cmod(p *engine.Proc, data *workload.F64, tOff, tH, sOff, sH int) {
+	n := tH
+	if sH < n {
+		n = sH
+	}
+	scale := data.Get(p, sOff)
+	for i := 1; i < n; i++ {
+		s := data.Get(p, sOff+i)
+		data.Update(p, tOff+i, func(v float64) float64 { return v - s*scale*0.01 })
+		p.Compute(4)
+	}
+}
+
+// TotalWork returns the column count (for progress assertions).
+func (w *Cholesky) TotalWork() int { return w.cfg.Columns }
+
+// DataFootprint returns the column-data size in bytes for the config.
+func DataFootprint(cfg Config) uint64 {
+	heights, _ := structureFor(cfg, 1)
+	total := 0
+	for _, h := range heights {
+		total += h
+	}
+	return uint64(total) * 8
+}

@@ -1,0 +1,293 @@
+// Package lu reimplements the SPLASH-2 LU benchmark kernel: blocked dense
+// LU factorization of an N×N matrix (the paper runs 256×256). The matrix
+// is stored as a single contiguous row-major array of doubles with no
+// padding — the "non-contiguous blocks" layout — so cache blocks straddle
+// ownership boundaries and different processors perform load-store
+// sequences to different words of the same cache block. That false-sharing
+// effect is what makes AD appear to help LU in the paper (an illusion of
+// migratory behaviour, Section 5.3), and what lets LS remove most of the
+// remaining write stall.
+//
+// Simulated accesses are issued at row-segment granularity (one ReadN or
+// WriteN per block-row, touching every cache line the elementwise sweep
+// would), while the arithmetic itself runs host-side at full precision —
+// a standard reference-compaction that preserves cache and coherence
+// behaviour while keeping simulation time tractable; see DESIGN.md.
+package lu
+
+import (
+	"fmt"
+	"math"
+
+	"lsnuma/internal/engine"
+	"lsnuma/internal/memory"
+	"lsnuma/internal/workload"
+)
+
+// Config sets the problem size.
+type Config struct {
+	// N is the matrix order.
+	N int
+	// B is the block size in elements (N must be a multiple of B).
+	B int
+	// Seed for the deterministic matrix generator.
+	Seed int64
+}
+
+// ConfigFor returns the configuration for a scale. ScalePaper matches the
+// paper's 256×256 run (SPLASH-2 default block size 16).
+func ConfigFor(scale workload.Scale) Config {
+	switch scale {
+	case workload.ScaleTest:
+		return Config{N: 48, B: 8, Seed: 3}
+	case workload.ScaleSmall:
+		return Config{N: 128, B: 16, Seed: 3}
+	default:
+		return Config{N: 256, B: 16, Seed: 3}
+	}
+}
+
+// LU is the workload object.
+type LU struct {
+	cfg  Config
+	cpus int
+
+	// host-side matrix (row-major), shared with the simulated programs
+	a []float64
+	// addr of the matrix region
+	arr *workload.F64
+}
+
+// New constructs the workload for the given scale and processor count.
+func New(scale workload.Scale, cpus int) workload.Workload {
+	return &LU{cfg: ConfigFor(scale), cpus: cpus}
+}
+
+// NewWithConfig constructs the workload with an explicit configuration.
+func NewWithConfig(cfg Config, cpus int) *LU {
+	return &LU{cfg: cfg, cpus: cpus}
+}
+
+// Name implements workload.Workload.
+func (w *LU) Name() string { return "lu" }
+
+// Matrix exposes the factored matrix after a run (for verification).
+func (w *LU) Matrix() []float64 { return w.a }
+
+// idx returns the flat index of element (i,j).
+func (w *LU) idx(i, j int) int { return i*w.cfg.N + j }
+
+// rowAddr returns the simulated address of elements (i, j..j+len).
+func (w *LU) rowAddr(i, j int) memory.Addr { return w.arr.Addr(w.idx(i, j)) }
+
+// owner returns the processor owning block (I, J) under the SPLASH-2 2-D
+// scatter decomposition.
+func (w *LU) owner(I, J int) int {
+	pr := 1
+	for pr*pr < w.cpus {
+		pr++
+	}
+	if pr*pr != w.cpus {
+		// Non-square processor counts fall back to 1-D round-robin.
+		nb := w.cfg.N / w.cfg.B
+		return (I*nb + J) % w.cpus
+	}
+	return (I%pr)*pr + J%pr
+}
+
+// Programs implements workload.Workload.
+func (w *LU) Programs(m *engine.Machine) ([]engine.Program, error) {
+	cfg := w.cfg
+	if cfg.N < 1 || cfg.B < 1 || cfg.N%cfg.B != 0 {
+		return nil, fmt.Errorf("lu: N=%d not a multiple of B=%d", cfg.N, cfg.B)
+	}
+	alloc := m.Alloc()
+	// SPLASH-2's non-contiguous LU allocates the matrix with plain malloc,
+	// which on the paper's platform is not cache-block aligned. The 8-byte
+	// shim reproduces that: cache blocks straddle block-column ownership
+	// boundaries, so neighbouring owners' load-store sequences falsely
+	// share blocks — the "illusion of migratory behaviour" of Section 5.3.
+	alloc.Alloc("matrix-shim", 8, 8)
+	w.arr = workload.NewF64(alloc, "matrix", cfg.N*cfg.N)
+	w.a = make([]float64, cfg.N*cfg.N)
+	rng := workload.Rand(cfg.Seed)
+	for i := 0; i < cfg.N; i++ {
+		for j := 0; j < cfg.N; j++ {
+			v := rng.Float64()*2 - 1
+			if i == j {
+				v += float64(cfg.N) // diagonal dominance: no pivoting needed
+			}
+			w.a[w.idx(i, j)] = v
+		}
+	}
+
+	barrier := engine.NewBarrier(alloc, "barrier", w.cpus, m.Nodes())
+	nb := cfg.N / cfg.B
+
+	progs := make([]engine.Program, w.cpus)
+	for cpu := 0; cpu < w.cpus; cpu++ {
+		progs[cpu] = func(p *engine.Proc) {
+			for k := 0; k < nb; k++ {
+				// Phase 1: the owner factors the diagonal block.
+				if w.owner(k, k) == int(p.ID())%w.cpus {
+					w.factorDiag(p, k)
+				}
+				barrier.Wait(p)
+				// Phase 2: owners update their perimeter blocks.
+				for j := k + 1; j < nb; j++ {
+					if w.owner(k, j) == int(p.ID())%w.cpus {
+						w.updateRowBlock(p, k, j)
+					}
+					if w.owner(j, k) == int(p.ID())%w.cpus {
+						w.updateColBlock(p, j, k)
+					}
+				}
+				barrier.Wait(p)
+				// Phase 3: owners update their interior blocks.
+				for i := k + 1; i < nb; i++ {
+					for j := k + 1; j < nb; j++ {
+						if w.owner(i, j) == int(p.ID())%w.cpus {
+							w.updateInterior(p, i, j, k)
+						}
+					}
+				}
+				barrier.Wait(p)
+			}
+		}
+	}
+	return progs, nil
+}
+
+// readRow / rmwRow issue the simulated accesses for a length-B row segment.
+func (w *LU) readRow(p *engine.Proc, i, j int) {
+	p.ReadN(w.rowAddr(i, j), uint32(w.cfg.B*8))
+}
+
+func (w *LU) rmwRow(p *engine.Proc, i, j int) {
+	p.ReadN(w.rowAddr(i, j), uint32(w.cfg.B*8))
+	p.WriteN(w.rowAddr(i, j), uint32(w.cfg.B*8))
+}
+
+// factorDiag performs the unblocked LU of diagonal block (k,k).
+func (w *LU) factorDiag(p *engine.Proc, k int) {
+	b, n := w.cfg.B, w.cfg.N
+	base := k * b
+	for c := 0; c < b; c++ {
+		pivRow := base + c
+		w.readRow(p, pivRow, base)
+		piv := w.a[w.idx(pivRow, pivRow)]
+		for r := c + 1; r < b; r++ {
+			row := base + r
+			w.rmwRow(p, row, base)
+			p.Compute(2 * b) // daxpy
+			l := w.a[w.idx(row, pivRow)] / piv
+			w.a[w.idx(row, pivRow)] = l
+			for j := pivRow + 1; j < base+b && j < n; j++ {
+				w.a[w.idx(row, j)] -= l * w.a[w.idx(pivRow, j)]
+			}
+		}
+	}
+}
+
+// updateRowBlock applies the diagonal block's L factor to perimeter block
+// (k, j): triangular solve down the block's rows.
+func (w *LU) updateRowBlock(p *engine.Proc, k, j int) {
+	b := w.cfg.B
+	rBase, cBase := k*b, j*b
+	for c := 0; c < b; c++ {
+		w.readRow(p, rBase+c, rBase) // L row
+		for r := c + 1; r < b; r++ {
+			w.rmwRow(p, rBase+r, cBase)
+			p.Compute(2 * b)
+			l := w.a[w.idx(rBase+r, rBase+c)]
+			for jj := 0; jj < b; jj++ {
+				w.a[w.idx(rBase+r, cBase+jj)] -= l * w.a[w.idx(rBase+c, cBase+jj)]
+			}
+		}
+	}
+}
+
+// updateColBlock computes the L factors of perimeter block (i, k).
+func (w *LU) updateColBlock(p *engine.Proc, i, k int) {
+	b := w.cfg.B
+	rBase, cBase := i*b, k*b
+	for c := 0; c < b; c++ {
+		piv := w.a[w.idx(cBase+c, cBase+c)]
+		w.readRow(p, cBase+c, cBase) // U row from the diagonal block
+		for r := 0; r < b; r++ {
+			w.rmwRow(p, rBase+r, cBase)
+			p.Compute(2 * b)
+			l := w.a[w.idx(rBase+r, cBase+c)] / piv
+			w.a[w.idx(rBase+r, cBase+c)] = l
+			for jj := c + 1; jj < b; jj++ {
+				w.a[w.idx(rBase+r, cBase+jj)] -= l * w.a[w.idx(cBase+c, cBase+jj)]
+			}
+		}
+	}
+}
+
+// updateInterior applies A[i][j] -= A[i][k] × A[k][j] (block GEMM): the
+// bulk of the work. Each row of the target block is read-modify-written —
+// a load-store sequence to the owner's data, with block-boundary words
+// falsely shared with neighbouring owners.
+func (w *LU) updateInterior(p *engine.Proc, i, j, k int) {
+	b := w.cfg.B
+	iBase, jBase, kBase := i*b, j*b, k*b
+	for r := 0; r < b; r++ {
+		w.readRow(p, iBase+r, kBase) // A[i][k] row
+		w.readRow(p, kBase+r, jBase) // A[k][j] row (round-robin over rows)
+		w.rmwRow(p, iBase+r, jBase)  // target row
+		p.Compute(2 * b * b / 4)
+		for c := 0; c < b; c++ {
+			var sum float64
+			for kk := 0; kk < b; kk++ {
+				sum += w.a[w.idx(iBase+r, kBase+kk)] * w.a[w.idx(kBase+kk, jBase+c)]
+			}
+			w.a[w.idx(iBase+r, jBase+c)] -= sum
+		}
+	}
+}
+
+// Residual verifies the factorization on the host: it recomposes L·U and
+// returns the max-norm relative error against the original matrix
+// (regenerated from the seed). Intended for tests at small N.
+func Residual(cfg Config, factored []float64) float64 {
+	n := cfg.N
+	rng := workload.Rand(cfg.Seed)
+	orig := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := rng.Float64()*2 - 1
+			if i == j {
+				v += float64(n)
+			}
+			orig[i*n+j] = v
+		}
+	}
+	var worst float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			kMax := i
+			if j < i {
+				kMax = j
+			}
+			for k := 0; k <= kMax; k++ {
+				l := factored[i*n+k]
+				if k == i {
+					l = 1
+				}
+				u := factored[k*n+j]
+				if k > j {
+					u = 0
+				}
+				sum += l * u
+			}
+			err := math.Abs(sum-orig[i*n+j]) / float64(n)
+			if err > worst {
+				worst = err
+			}
+		}
+	}
+	return worst
+}

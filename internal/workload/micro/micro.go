@@ -1,0 +1,240 @@
+// Package micro provides small synthetic kernels with analytically known
+// sharing behaviour, used to validate the protocols and to demonstrate
+// individual effects in isolation:
+//
+//   - Migratory: N processors read-modify-write one datum in turn — pure
+//     migratory sharing; AD and LS both eliminate every steady-state
+//     ownership acquisition.
+//   - PrivateEvict: each processor read-modify-writes its own data with a
+//     footprint that thrashes the cache — load-store sequences with NO
+//     migration; only LS (whose tag survives in the directory) eliminates
+//     the re-fetch ownership acquisitions. This is the paper's central
+//     Cholesky/OLTP effect distilled.
+//   - ReadShared: all processors read a region that one processor
+//     periodically writes — no load-store sequences; neither technique
+//     should do anything but must not regress (spurious exclusive grants
+//     would inflate read misses).
+//   - ProducerConsumer: a flag-and-buffer handoff pattern; exercises the
+//     failed-prediction (NotLS) path.
+package micro
+
+import (
+	"fmt"
+
+	"lsnuma/internal/engine"
+	"lsnuma/internal/workload"
+)
+
+// Kind selects a micro kernel.
+type Kind string
+
+// The micro kernels.
+const (
+	Migratory        Kind = "migratory"
+	PrivateEvict     Kind = "private-evict"
+	ReadShared       Kind = "read-shared"
+	ProducerConsumer Kind = "producer-consumer"
+)
+
+// Kinds lists all micro kernels.
+func Kinds() []Kind {
+	return []Kind{Migratory, PrivateEvict, ReadShared, ProducerConsumer}
+}
+
+// Config sets the kernel and iteration count.
+type Config struct {
+	Kind   Kind
+	Rounds int
+	// FootprintBytes sizes PrivateEvict's per-processor working set; it
+	// should exceed the L2 capacity to force re-fetches.
+	FootprintBytes int
+}
+
+// ConfigFor returns a Config for a scale.
+func ConfigFor(kind Kind, scale workload.Scale) Config {
+	c := Config{Kind: kind, Rounds: 50, FootprintBytes: 96 * 1024}
+	if kind == PrivateEvict {
+		// Each round sweeps the whole footprint; a handful suffices.
+		c.Rounds = 8
+	}
+	switch scale {
+	case workload.ScaleSmall:
+		c.Rounds *= 4
+	case workload.ScalePaper:
+		c.Rounds *= 16
+	}
+	return c
+}
+
+// Micro is the workload object.
+type Micro struct {
+	cfg  Config
+	cpus int
+}
+
+// New constructs the named micro kernel at the given scale.
+func New(kind Kind, scale workload.Scale, cpus int) *Micro {
+	return &Micro{cfg: ConfigFor(kind, scale), cpus: cpus}
+}
+
+// NewWithConfig constructs a kernel with an explicit configuration.
+func NewWithConfig(cfg Config, cpus int) *Micro {
+	return &Micro{cfg: cfg, cpus: cpus}
+}
+
+// Name implements workload.Workload.
+func (w *Micro) Name() string { return "micro-" + string(w.cfg.Kind) }
+
+// Programs implements workload.Workload.
+func (w *Micro) Programs(m *engine.Machine) ([]engine.Program, error) {
+	if w.cfg.Rounds < 1 {
+		return nil, fmt.Errorf("micro: rounds %d < 1", w.cfg.Rounds)
+	}
+	switch w.cfg.Kind {
+	case Migratory:
+		return w.migratory(m), nil
+	case PrivateEvict:
+		return w.privateEvict(m), nil
+	case ReadShared:
+		return w.readShared(m), nil
+	case ProducerConsumer:
+		return w.producerConsumer(m), nil
+	default:
+		return nil, fmt.Errorf("micro: unknown kernel %q", w.cfg.Kind)
+	}
+}
+
+// migratory: the processors take turns performing a read-modify-write of
+// one shared datum, handing it around with a turn counter.
+func (w *Micro) migratory(m *engine.Machine) []engine.Program {
+	alloc := m.Alloc()
+	turn := workload.NewI32(alloc, "turn", 1)
+	alloc.Alloc("pad", 256, 256) // keep the datum off the turn counter's block
+	data := workload.NewF64(alloc, "datum", 2)
+	progs := make([]engine.Program, w.cpus)
+	for cpu := 0; cpu < w.cpus; cpu++ {
+		self := int32(cpu)
+		progs[cpu] = func(p *engine.Proc) {
+			for r := 0; r < w.cfg.Rounds; r++ {
+				for {
+					if turn.Get(p, 0)%int32(w.cpus) == self {
+						break
+					}
+					p.Compute(16 + p.Rand().Intn(16))
+				}
+				// The migratory load-store sequence.
+				v := data.Get(p, 0)
+				p.Compute(10)
+				data.Set(p, 0, v+1)
+				turn.Add(p, 0, 1)
+			}
+		}
+	}
+	return progs
+}
+
+// privateEvict: each processor sweeps a private region larger than the
+// L2, read-modify-writing each element; every revisit re-fetches from the
+// home with an ownership acquisition under the baseline protocol.
+func (w *Micro) privateEvict(m *engine.Machine) []engine.Program {
+	alloc := m.Alloc()
+	layout := m.Layout()
+	elems := w.cfg.FootprintBytes / 8
+	regions := make([]*workload.F64, w.cpus)
+	for cpu := 0; cpu < w.cpus; cpu++ {
+		regions[cpu] = workload.NewF64(alloc, "private", elems)
+	}
+	// Stride by one cache block so each access touches a fresh block.
+	stride := int(layout.BlockSize / 8)
+	if stride == 0 {
+		stride = 1
+	}
+	progs := make([]engine.Program, w.cpus)
+	for cpu := 0; cpu < w.cpus; cpu++ {
+		mine := regions[cpu]
+		progs[cpu] = func(p *engine.Proc) {
+			for r := 0; r < w.cfg.Rounds; r++ {
+				for i := 0; i < elems; i += stride {
+					v := mine.Get(p, i)
+					p.Compute(4)
+					mine.Set(p, i, v+1)
+				}
+			}
+		}
+	}
+	return progs
+}
+
+// readShared: processor 0 periodically rewrites a small table that all
+// the others continuously read.
+func (w *Micro) readShared(m *engine.Machine) []engine.Program {
+	alloc := m.Alloc()
+	table := workload.NewF64(alloc, "table", 64)
+	progs := make([]engine.Program, w.cpus)
+	progs[0] = func(p *engine.Proc) {
+		for r := 0; r < w.cfg.Rounds; r++ {
+			for i := 0; i < table.Len(); i += 8 {
+				table.Set(p, i, float64(r))
+			}
+			p.Compute(2000)
+		}
+	}
+	for cpu := 1; cpu < w.cpus; cpu++ {
+		progs[cpu] = func(p *engine.Proc) {
+			for r := 0; r < w.cfg.Rounds*4; r++ {
+				for i := 0; i < table.Len(); i += 4 {
+					table.Get(p, i)
+					p.Compute(6)
+				}
+			}
+		}
+	}
+	return progs
+}
+
+// producerConsumer: processor 0 fills a buffer and raises a flag; the
+// consumers read the buffer. The consumers' reads of the flag right after
+// the producer's store exercise exclusive grants that fail (NotLS).
+func (w *Micro) producerConsumer(m *engine.Machine) []engine.Program {
+	alloc := m.Alloc()
+	flag := workload.NewI32(alloc, "flag", 1)
+	alloc.Alloc("pad", 256, 256)
+	buf := workload.NewF64(alloc, "buffer", 32)
+	alloc.Alloc("pad", 256, 256)
+	acks := workload.NewI32(alloc, "acks", 1)
+	progs := make([]engine.Program, w.cpus)
+	progs[0] = func(p *engine.Proc) {
+		for r := 1; r <= w.cfg.Rounds; r++ {
+			for i := 0; i < buf.Len(); i++ {
+				buf.Set(p, i, float64(r*i))
+			}
+			flag.Set(p, 0, int32(r))
+			// Wait until every consumer acknowledged this round.
+			for {
+				if acks.Get(p, 0) >= int32(r*(w.cpus-1)) {
+					break
+				}
+				p.Compute(40)
+			}
+		}
+	}
+	for cpu := 1; cpu < w.cpus; cpu++ {
+		progs[cpu] = func(p *engine.Proc) {
+			seen := int32(0)
+			for seen < int32(w.cfg.Rounds) {
+				if v := flag.Get(p, 0); v > seen {
+					seen = v
+					var sum float64
+					for i := 0; i < buf.Len(); i++ {
+						sum += buf.Get(p, i)
+					}
+					_ = sum
+					acks.Add(p, 0, 1)
+				} else {
+					p.Compute(30 + p.Rand().Intn(30))
+				}
+			}
+		}
+	}
+	return progs
+}

@@ -1,0 +1,234 @@
+// Package mp3d reimplements the SPLASH MP3D benchmark kernel: a
+// particle-based hypersonic wind-tunnel simulator. MP3D is the paper's
+// canonical migratory workload (Section 5.1): space-cell records are
+// read-modify-written in turn by whichever processor's particles currently
+// occupy them, and global collision counters are updated under a lock —
+// both producing the single-invalidation migratory pattern identified by
+// Gupta & Weber.
+//
+// The kernel keeps MP3D's sharing structure: statically partitioned
+// particle records (mostly private), a shared 3-D space array of cell
+// records (migratory), boundary/reservoir handling, and lock-protected
+// global counters, advanced in barrier-separated time steps.
+package mp3d
+
+import (
+	"fmt"
+
+	"lsnuma/internal/engine"
+	"lsnuma/internal/workload"
+)
+
+// Config sets the problem size.
+type Config struct {
+	Particles int
+	Steps     int
+	// Space array dimensions (cells). The original MP3D space array is
+	// 14×24×7.
+	X, Y, Z int
+	// CollisionFrac is the probability a particle move triggers the
+	// collision bookkeeping path.
+	CollisionFrac float64
+	// Seed for the deterministic initial state.
+	Seed int64
+}
+
+// ConfigFor returns the configuration for a scale. ScalePaper matches the
+// paper's run: 10 k particles, 10 time steps.
+func ConfigFor(scale workload.Scale) Config {
+	switch scale {
+	case workload.ScaleTest:
+		return Config{Particles: 600, Steps: 3, X: 8, Y: 8, Z: 4, CollisionFrac: 0.15, Seed: 42}
+	case workload.ScaleSmall:
+		return Config{Particles: 3000, Steps: 5, X: 14, Y: 24, Z: 7, CollisionFrac: 0.15, Seed: 42}
+	default:
+		return Config{Particles: 10000, Steps: 10, X: 14, Y: 24, Z: 7, CollisionFrac: 0.15, Seed: 42}
+	}
+}
+
+// particle field offsets within the 32-byte particle record, mirroring
+// MP3D's particle struct (3 position words, 3 velocity words, cell index,
+// flags).
+const (
+	recSize     = 32
+	offPos      = 0  // 12 bytes
+	offVel      = 12 // 12 bytes
+	offCell     = 24 // 4 bytes
+	offFlags    = 28 // 4 bytes
+	cellSize    = 16
+	offCount    = 0 // 4 bytes: particles in cell this step
+	offMomentum = 4 // 12 bytes: momentum accumulator
+)
+
+// MP3D is the workload object.
+type MP3D struct {
+	cfg  Config
+	cpus int
+}
+
+// New constructs the workload for the given scale and processor count.
+func New(scale workload.Scale, cpus int) workload.Workload {
+	return &MP3D{cfg: ConfigFor(scale), cpus: cpus}
+}
+
+// NewWithConfig constructs the workload with an explicit configuration.
+func NewWithConfig(cfg Config, cpus int) *MP3D {
+	return &MP3D{cfg: cfg, cpus: cpus}
+}
+
+// Name implements workload.Workload.
+func (w *MP3D) Name() string { return "mp3d" }
+
+// state is the host-side simulation state; every access to it is mirrored
+// by a simulated memory access through the record views.
+type state struct {
+	cfg    Config
+	pos    [][3]float32
+	vel    [][3]float32
+	cellOf []int32
+
+	cellCount []int32
+	cellMom   [][3]float32
+
+	collisions int64
+}
+
+func (s *state) cellIndex(x, y, z float32) int32 {
+	cx := int(x) % s.cfg.X
+	cy := int(y) % s.cfg.Y
+	cz := int(z) % s.cfg.Z
+	if cx < 0 {
+		cx += s.cfg.X
+	}
+	if cy < 0 {
+		cy += s.cfg.Y
+	}
+	if cz < 0 {
+		cz += s.cfg.Z
+	}
+	return int32((cx*s.cfg.Y+cy)*s.cfg.Z + cz)
+}
+
+// Programs implements workload.Workload.
+func (w *MP3D) Programs(m *engine.Machine) ([]engine.Program, error) {
+	cfg := w.cfg
+	if cfg.Particles < w.cpus {
+		return nil, fmt.Errorf("mp3d: %d particles for %d CPUs", cfg.Particles, w.cpus)
+	}
+	if cfg.X < 1 || cfg.Y < 1 || cfg.Z < 1 {
+		return nil, fmt.Errorf("mp3d: bad space array %dx%dx%d", cfg.X, cfg.Y, cfg.Z)
+	}
+	alloc := m.Alloc()
+	ncells := cfg.X * cfg.Y * cfg.Z
+
+	particles := workload.NewRecords(alloc, "particles", cfg.Particles, recSize, 0)
+	cells := workload.NewRecords(alloc, "cells", ncells, cellSize, 0)
+	barrier := engine.NewBarrier(alloc, "barrier", w.cpus, m.Nodes())
+	colLock := engine.NewLock(alloc, "collision-lock")
+	globals := workload.NewI32(alloc, "globals", 4) // collision count, step, reservoir in/out
+
+	st := &state{
+		cfg:       cfg,
+		pos:       make([][3]float32, cfg.Particles),
+		vel:       make([][3]float32, cfg.Particles),
+		cellOf:    make([]int32, cfg.Particles),
+		cellCount: make([]int32, ncells),
+		cellMom:   make([][3]float32, ncells),
+	}
+	rng := workload.Rand(cfg.Seed)
+	for i := range st.pos {
+		st.pos[i] = [3]float32{
+			rng.Float32() * float32(cfg.X),
+			rng.Float32() * float32(cfg.Y),
+			rng.Float32() * float32(cfg.Z),
+		}
+		st.vel[i] = [3]float32{
+			rng.Float32()*2 - 1,
+			rng.Float32()*2 - 1,
+			rng.Float32()*2 - 1,
+		}
+		st.cellOf[i] = st.cellIndex(st.pos[i][0], st.pos[i][1], st.pos[i][2])
+	}
+
+	progs := make([]engine.Program, w.cpus)
+	for cpu := 0; cpu < w.cpus; cpu++ {
+		lo := cpu * cfg.Particles / w.cpus
+		hi := (cpu + 1) * cfg.Particles / w.cpus
+		progs[cpu] = func(p *engine.Proc) {
+			for step := 0; step < cfg.Steps; step++ {
+				localCollisions := int64(0)
+				for i := lo; i < hi; i++ {
+					w.move(p, st, particles, cells, i, &localCollisions)
+				}
+				if localCollisions > 0 {
+					colLock.Acquire(p)
+					globals.Add(p, 0, int32(localCollisions))
+					st.collisions += localCollisions
+					colLock.Release(p)
+				}
+				barrier.Wait(p)
+			}
+		}
+	}
+	return progs, nil
+}
+
+// move advances one particle: read its record, integrate, write it back,
+// and read-modify-write the destination cell's counters — the load-store
+// sequence on shared (migratory) data.
+func (w *MP3D) move(p *engine.Proc, st *state, particles, cells *workload.Record, i int, collisions *int64) {
+	// Load position and velocity (24 bytes).
+	particles.ReadField(p, i, offPos, 24)
+	pos, vel := st.pos[i], st.vel[i]
+	p.Compute(20) // integration arithmetic
+
+	for d := 0; d < 3; d++ {
+		pos[d] += vel[d]
+	}
+	// Reservoir boundary: wrap in x (flow direction), reflect in y/z.
+	if pos[0] < 0 || int(pos[0]) >= st.cfg.X {
+		pos[0] = 0.5
+		p.Read(particles.Addr(i, offFlags)) // boundary-condition check
+	}
+	newCell := st.cellIndex(pos[0], pos[1], pos[2])
+	st.pos[i] = pos
+
+	// Store the new position and cell index.
+	particles.WriteField(p, i, offPos, 12)
+	oldCell := st.cellOf[i]
+	if newCell != oldCell {
+		particles.WriteField(p, i, offCell, 4)
+		st.cellOf[i] = newCell
+	}
+
+	// Cell update: the migratory read-modify-write. Count and momentum
+	// accumulate into the shared cell record.
+	c := int(newCell)
+	cells.ReadField(p, c, offCount, 8)
+	cnt := st.cellCount[c]
+	p.Compute(6)
+	st.cellCount[c] = cnt + 1
+	cells.WriteField(p, c, offCount, 8)
+
+	// Collision path: particles in a populated cell exchange momentum.
+	// Deterministic pseudo-randomness from particle state keeps runs
+	// reproducible across protocols.
+	h := uint32(i*2654435761) ^ uint32(cnt*40503)
+	if float64(h%1000)/1000.0 < st.cfg.CollisionFrac && cnt > 0 {
+		cells.ReadField(p, c, offMomentum, 12)
+		mom := st.cellMom[c]
+		p.Compute(25) // collision arithmetic
+		for d := 0; d < 3; d++ {
+			mom[d] += st.vel[i][d] * 0.5
+			st.vel[i][d] = -0.5*st.vel[i][d] + 0.1*mom[d]
+		}
+		st.cellMom[c] = mom
+		cells.WriteField(p, c, offMomentum, 12)
+		particles.WriteField(p, i, offVel, 12)
+		*collisions++
+	}
+}
+
+// Collisions returns the total collision count after a run (host-side
+// verification hook).
+func Collisions(st *workload.I32) int32 { return st.Peek(0) }

@@ -1,0 +1,501 @@
+// Package oltp implements the paper's transaction-processing workload: a
+// TPC-B-style banking benchmark in the spirit of MySQL 3.22 running on
+// SparcLinux (Section 4.1). The real stack is not reproducible offline; a
+// synthetic transaction engine stands in, built to reproduce the stream
+// properties the paper's analysis depends on (see DESIGN.md):
+//
+//   - branch / teller / account / history records updated by
+//     read-modify-write (load-store sequences), with a small hot branch
+//     table that migrates between processors;
+//   - a buffer pool with hashed page headers whose LRU fields are
+//     load-store updated on every access, and whose working set exceeds
+//     the L2 cache (capacity/conflict misses that break AD's migratory
+//     detection but not LS's tagging);
+//   - read-shared catalog/statistics data that is periodically written,
+//     producing more than one invalidation per global write (the paper
+//     reports ~1.4 for OLTP);
+//   - pthread-style locks (library), a transaction-context allocator
+//     (library), and an operating-system layer (scheduler run queue,
+//     timer ticks, log flush syscalls), each tagged with its source class
+//     so Table 2's MySQL / libraries / OS split is measurable.
+package oltp
+
+import (
+	"fmt"
+
+	"lsnuma/internal/engine"
+	"lsnuma/internal/memory"
+	"lsnuma/internal/workload"
+)
+
+// Config sets the problem size.
+type Config struct {
+	// Branches is the TPC-B scale (the paper uses 40).
+	Branches int
+	// TellersPerBranch and AccountsPerBranch follow TPC-B ratios.
+	TellersPerBranch  int
+	AccountsPerBranch int
+	// TxPerCPU is the number of transactions each processor runs.
+	TxPerCPU int
+	// PoolPages is the buffer-pool page-header count.
+	PoolPages int
+	// CatalogEntries is the size of the read-mostly catalog.
+	CatalogEntries int
+	// OSTickEvery inserts a timer tick/scheduler pass every N transactions.
+	OSTickEvery int
+	// ScanEvery inserts a read-only branch scan every N transactions,
+	// spreading read-shared copies that later writes must invalidate.
+	ScanEvery int
+	// Seed for the deterministic request stream.
+	Seed int64
+}
+
+// ConfigFor returns the configuration for a scale. ScalePaper uses the
+// paper's 40 branches; record counts are scaled to hold the simulated
+// working set in the tens of megabytes rather than the paper's 600 MB
+// while keeping it far larger than the 512 kB L2 (the property that
+// matters: a large conflict/capacity miss rate on shared data).
+func ConfigFor(scale workload.Scale) Config {
+	switch scale {
+	case workload.ScaleTest:
+		return Config{
+			Branches: 8, TellersPerBranch: 10, AccountsPerBranch: 8000,
+			TxPerCPU: 150, PoolPages: 1024, CatalogEntries: 64,
+			OSTickEvery: 6, ScanEvery: 4, Seed: 11,
+		}
+	case workload.ScaleSmall:
+		return Config{
+			Branches: 20, TellersPerBranch: 10, AccountsPerBranch: 8000,
+			TxPerCPU: 300, PoolPages: 4096, CatalogEntries: 128,
+			OSTickEvery: 6, ScanEvery: 4, Seed: 11,
+		}
+	default:
+		return Config{
+			Branches: 40, TellersPerBranch: 10, AccountsPerBranch: 8000,
+			TxPerCPU: 1000, PoolPages: 8192, CatalogEntries: 256,
+			OSTickEvery: 6, ScanEvery: 4, Seed: 11,
+		}
+	}
+}
+
+// Record sizes (bytes). Account/teller/branch rows are 64 B as in a
+// row-store with a few columns; history entries are 32 B; buffer-pool
+// page headers are 32 B (page id, LRU links, pin count, dirty flag).
+const (
+	rowSize     = 64
+	histSize    = 64
+	logRecSize  = 64
+	pageHdrSize = 32
+)
+
+// OLTP is the workload object.
+type OLTP struct {
+	cfg  Config
+	cpus int
+	d    *db
+
+	// CommittedTx counts committed transactions (host-side, for tests).
+	CommittedTx int64
+}
+
+// New constructs the workload for the given scale and processor count.
+func New(scale workload.Scale, cpus int) workload.Workload {
+	return &OLTP{cfg: ConfigFor(scale), cpus: cpus}
+}
+
+// NewWithConfig constructs the workload with an explicit configuration.
+func NewWithConfig(cfg Config, cpus int) *OLTP {
+	return &OLTP{cfg: cfg, cpus: cpus}
+}
+
+// Name implements workload.Workload.
+func (w *OLTP) Name() string { return "oltp" }
+
+// db bundles the shared database state.
+type db struct {
+	cfg Config
+
+	accounts *workload.Record
+	tellers  *workload.Record
+	branches *workload.Record
+	history  *workload.Record
+	balances []int64 // host-side account balances
+	tBal     []int64
+	bBal     []int64
+
+	pool      *workload.Record // buffer-pool page headers
+	poolLock  *engine.Lock
+	poolClock int32
+
+	catalog *workload.F64 // read-mostly statistics / catalog
+	catLock *engine.Lock
+
+	branchLocks []*engine.Lock
+	logLock     *engine.Lock
+	logTail     *workload.I32
+	histCursor  int32
+
+	// OS structures.
+	runqueue    *workload.Record // per-CPU scheduler entries, adjacent
+	schedLock   *engine.Lock
+	taskStructs *workload.Record
+
+	// Library structures.
+	arena     *workload.I32    // global allocator cursor
+	freeLists *workload.Record // per-CPU free-list heads (adjacent words)
+
+	// Kernel log staging buffer: pure (write-only) global stores.
+	logBuf *workload.Record
+
+	// Per-connection session state (sort buffers, cursors, statement
+	// cache): private to one processor but far larger than the L1 and in
+	// conflict with the account stream in the L2, so it is repeatedly
+	// re-fetched and read-modify-written by the SAME processor — the
+	// non-migratory load-store sequences that LS optimizes and AD cannot
+	// (Section 2: "data accessed in a load-store sequence does not
+	// necessarily have to migrate").
+	sessions       *workload.Record
+	sessionsPerCPU int
+
+	// statsTable holds per-table row/page counters: scanned (read) by
+	// every processor's monitor query, blindly updated by transactions.
+	statsTable *workload.Record
+
+	// statusVars is a page of densely packed 4-byte server status
+	// counters (threads_running, questions, bytes_sent, ...), each owned
+	// by one thread but packed adjacently — the classic word-granularity
+	// false sharing of 1990s server globals that drives the paper's
+	// Table 4 (19.9 % false-sharing misses already at 16 B blocks).
+	statusVars *workload.I32
+
+	// index is the B-tree interior node region: read-only after load, so
+	// its pages are read-shared and never tagged by any protocol.
+	index *workload.Record
+}
+
+// Programs implements workload.Workload.
+func (w *OLTP) Programs(m *engine.Machine) ([]engine.Program, error) {
+	cfg := w.cfg
+	if cfg.Branches < 1 || cfg.TxPerCPU < 1 {
+		return nil, fmt.Errorf("oltp: bad config %+v", cfg)
+	}
+	a := m.Alloc()
+	nAcc := cfg.Branches * cfg.AccountsPerBranch
+	nTel := cfg.Branches * cfg.TellersPerBranch
+
+	d := &db{
+		cfg:            cfg,
+		accounts:       workload.NewRecords(a, "accounts", nAcc, rowSize, 0),
+		tellers:        workload.NewRecords(a, "tellers", nTel, rowSize, 0),
+		branches:       workload.NewRecords(a, "branches", cfg.Branches, rowSize, 0),
+		history:        workload.NewRecords(a, "history", cfg.TxPerCPU*w.cpus+1, histSize, 0),
+		balances:       make([]int64, nAcc),
+		tBal:           make([]int64, nTel),
+		bBal:           make([]int64, cfg.Branches),
+		pool:           workload.NewRecords(a, "buffer-pool", cfg.PoolPages, pageHdrSize, 0),
+		poolLock:       engine.NewLock(a, "pool-lock"),
+		catalog:        workload.NewF64(a, "catalog", cfg.CatalogEntries),
+		catLock:        engine.NewLock(a, "catalog-lock"),
+		logLock:        engine.NewLock(a, "log-lock"),
+		logTail:        workload.NewI32(a, "log-tail", 1),
+		runqueue:       workload.NewRecords(a, "runqueue", w.cpus, 16, 0),
+		schedLock:      engine.NewLock(a, "sched-lock"),
+		taskStructs:    workload.NewRecords(a, "task-structs", w.cpus*4, 64, 0),
+		arena:          workload.NewI32(a, "malloc-arena", 1),
+		freeLists:      workload.NewRecords(a, "free-lists", w.cpus, 256, 256),
+		logBuf:         workload.NewRecords(a, "log-buffer", 4096, logRecSize, 0),
+		sessionsPerCPU: 96,
+	}
+	d.sessions = workload.NewRecords(a, "sessions", w.cpus*d.sessionsPerCPU, rowSize, 0)
+	d.statsTable = workload.NewRecords(a, "stats-table", 48, 32, 0)
+	d.statusVars = workload.NewI32(a, "status-vars", 16*w.cpus)
+	d.index = workload.NewRecords(a, "index", nAcc/64+64, rowSize, 0)
+	d.branchLocks = make([]*engine.Lock, cfg.Branches)
+	for i := range d.branchLocks {
+		d.branchLocks[i] = engine.NewLock(a, "branch-locks")
+	}
+	w.d = d
+
+	progs := make([]engine.Program, w.cpus)
+	for cpu := 0; cpu < w.cpus; cpu++ {
+		progs[cpu] = func(p *engine.Proc) {
+			rng := p.Rand()
+			for tx := 0; tx < cfg.TxPerCPU; tx++ {
+				w.transaction(p, d, tx)
+				if tx%cfg.OSTickEvery == cfg.OSTickEvery-1 {
+					w.osTick(p, d)
+				}
+				if tx%cfg.ScanEvery == cfg.ScanEvery-1 {
+					w.statsScan(p, d)
+				}
+				if tx%(cfg.ScanEvery*3) == cfg.ScanEvery*3-1 {
+					w.branchScan(p, d)
+				}
+				p.Compute(60 + rng.Intn(60)) // think time / network
+			}
+		}
+	}
+	return progs, nil
+}
+
+// transaction runs one TPC-B transaction: update account, teller and
+// branch balances, append to history, write the log.
+func (w *OLTP) transaction(p *engine.Proc, d *db, txSeq int) {
+	cfg := d.cfg
+	rng := p.Rand()
+
+	// --- library: allocate the transaction context ---
+	p.SetSource(memory.SrcLib)
+	w.malloc(p, d)
+
+	// --- application: the TPC-B profile ---
+	// TPC-B terminals are bound to branches: each simulated processor
+	// serves the branches of its own terminals (branch % cpus == cpu),
+	// with a small fraction of remote-branch transactions. This affinity
+	// is what makes a large share of OLTP's load-store sequences
+	// NON-migratory (the paper's Table 2: only ~47 % of load-store
+	// sequences migrate) — the same processor revisits its own branch,
+	// teller and page-header data after capacity evictions.
+	p.SetSource(memory.SrcApp)
+	cpu := int(p.ID())
+	branch := (cpu + w.cpus*rng.Intn(cfg.Branches/w.cpus+1)) % cfg.Branches
+	if rng.Intn(100) >= 88 { // remote terminal traffic
+		branch = rng.Intn(cfg.Branches)
+	}
+	teller := branch*cfg.TellersPerBranch + rng.Intn(cfg.TellersPerBranch)
+	// 85 % of accounts belong to the home branch (TPC-B locality rule).
+	accBranch := branch
+	if rng.Intn(100) >= 85 {
+		accBranch = rng.Intn(cfg.Branches)
+	}
+	account := accBranch*cfg.AccountsPerBranch + rng.Intn(cfg.AccountsPerBranch)
+	delta := int64(rng.Intn(2000) - 1000)
+
+	// Session state: cursor + sort-buffer slots for this connection,
+	// read-modify-written in place (same-processor load-store sequences).
+	for i := 0; i < 6; i++ {
+		slot := cpu*d.sessionsPerCPU + (txSeq*7+i*17)%d.sessionsPerCPU
+		d.sessions.ReadField(p, slot, 0, 24)
+		p.Compute(8)
+		d.sessions.WriteField(p, slot, 8, 16)
+	}
+
+	// Catalog lookup: read-shared metadata — the hot root of the index,
+	// read by every transaction on every processor.
+	d.catalog.Get(p, branch%8)
+	d.catalog.Get(p, 8+(account%8))
+
+	// Buffer-pool fixes along the B-tree path: index root, index leaf,
+	// data page and undo page headers are looked up in the pool hash and
+	// LRU-touched — load-store sequences on the headers, revisited after
+	// the page stream has pushed them out of the caches.
+	w.fixPage(p, d, account/4096)            // index root
+	w.fixPage(p, d, 1000000+account/64)      // index leaf
+	w.fixPage(p, d, account)                 // data page
+	w.fixPage(p, d, 2000000+txSeq%64+cpu*64) // undo/rollback page
+
+	// Walk the B-tree: read an interior index page (read-only region —
+	// shared but never written) and scan the account's leaf page (MySQL
+	// reads whole pages through the buffer pool). This page stream is
+	// what keeps the direct-mapped L2 churning: hot rows are evicted
+	// between revisits, which destroys AD's migratory detection (the
+	// last writer's copy is gone by the time the data migrates) but not
+	// LS's tagging (the LS bit lives in the directory) — the central
+	// effect behind the paper's Table 3 coverage gap.
+	idxPage := d.index.Addr(account/64, 0) &^ 1023
+	p.ReadN(idxPage, 1024)
+	p.Compute(32)
+	page := d.accounts.Addr(account, 0) &^ 4095
+	p.ReadN(page, 4096)
+	p.Compute(128)
+
+	// Account update: read the row, write the balance back.
+	d.accounts.ReadField(p, account, 0, 32)
+	p.Compute(20)
+	d.balances[account] += delta
+	d.accounts.WriteField(p, account, 8, 8)
+
+	// Teller update.
+	w.fixPage(p, d, d.cfg.PoolPages+teller) // teller pages hash elsewhere
+	d.tellers.ReadField(p, teller, 0, 16)
+	d.tBal[teller] += delta
+	d.tellers.WriteField(p, teller, 8, 8)
+
+	// Branch update under the branch lock (pthread mutex → library).
+	p.SetSource(memory.SrcLib)
+	d.branchLocks[branch].Acquire(p)
+	p.SetSource(memory.SrcApp)
+	d.branches.ReadField(p, branch, 0, 16)
+	p.Compute(10)
+	d.bBal[branch] += delta
+	d.branches.WriteField(p, branch, 8, 8)
+	p.SetSource(memory.SrcLib)
+	d.branchLocks[branch].Release(p)
+
+	// History append under the log lock. The redo-log record copy is
+	// MySQL code (pure stores into the shared staging buffer — global
+	// write actions that are NOT load-store sequences).
+	p.SetSource(memory.SrcLib)
+	d.logLock.Acquire(p)
+	p.SetSource(memory.SrcApp)
+	slot := d.histCursor
+	d.histCursor++
+	d.logTail.Add(p, 0, 1)
+	d.history.WriteField(p, int(slot)%d.history.Count(), 0, histSize)
+	d.logBuf.WriteField(p, int(slot)%d.logBuf.Count(), 0, logRecSize)
+	p.SetSource(memory.SrcLib)
+	d.logLock.Release(p)
+
+	// Periodic catalog maintenance: a write to heavily read-shared data —
+	// the source of the >1 invalidation per global write the paper
+	// reports.
+	if txSeq%12 == 11 {
+		p.SetSource(memory.SrcLib)
+		d.catLock.Acquire(p)
+		p.SetSource(memory.SrcApp)
+		// Update a hot catalog entry (read-shared by all processors).
+		d.catalog.Update(p, (txSeq/12+int(p.ID()))%16, func(v float64) float64 { return v + 1 })
+		p.SetSource(memory.SrcLib)
+		d.catLock.Release(p)
+	}
+
+	// Server status counters: each thread bumps its own densely packed
+	// counters (blind stores to falsely shared blocks).
+	d.statusVars.Set(p, cpu*16+(txSeq%16), int32(txSeq))
+	d.statusVars.Set(p, cpu*16+((txSeq*5+3)%16), int32(txSeq))
+
+	// Per-table statistics maintenance: blind stores (no preceding read)
+	// into counters every processor scans — writes to read-shared blocks
+	// that pay multiple invalidations without being load-store sequences
+	// (the paper's ~1.4 invalidations per write to a shared block).
+	d.statsTable.WriteField(p, branch%d.statsTable.Count(), 8, 8)
+	d.statsTable.WriteField(p, (teller/3)%d.statsTable.Count(), 16, 8)
+
+	// --- OS: commit = log write syscall ---
+	p.SetSource(memory.SrcOS)
+	w.logFlush(p, d)
+	p.SetSource(memory.SrcApp)
+	w.CommittedTx++
+}
+
+// fixPage looks up a page header in the buffer-pool hash and touches its
+// LRU fields (read-modify-write). The pool is sized beyond the L2 cache,
+// so headers bounce in and out — the conflict/capacity behaviour that
+// defeats migratory detection.
+func (w *OLTP) fixPage(p *engine.Proc, d *db, key int) {
+	h := (key*2654435761 + 12345) % d.cfg.PoolPages
+	if h < 0 {
+		h += d.cfg.PoolPages
+	}
+	// Hash probe: read the header, then LRU-touch it.
+	d.pool.ReadField(p, h, 0, 16)
+	p.Compute(8)
+	d.pool.WriteField(p, h, 16, 8) // LRU back-pointer update
+	d.poolClock++
+}
+
+// malloc models glibc allocating a transaction context: the per-CPU free
+// list head is read-modify-written; every few calls the global arena
+// cursor is bumped (a shared load-store sequence).
+func (w *OLTP) malloc(p *engine.Proc, d *db) {
+	cpu := int(p.ID())
+	d.freeLists.ReadField(p, cpu, 0, 8)
+	p.Compute(12)
+	d.freeLists.WriteField(p, cpu, 0, 8)
+	if d.poolClock%8 == 7 {
+		d.arena.Add(p, 0, 64) // refill from the global arena
+	}
+}
+
+// logFlush models the commit syscall: the OS copies the log record and
+// runs a short scheduler pass touching its own task struct.
+func (w *OLTP) logFlush(p *engine.Proc, d *db) {
+	cpu := int(p.ID())
+	// Kernel log flush: read-modify-write the in-kernel write position
+	// (an OS load-store sequence), then post the device queue descriptor
+	// (pure stores into a rotating slot — kernel writes that are not
+	// load-store sequences).
+	d.logTail.Add(p, 0, 0)
+	d.logBuf.WriteField(p, (int(d.histCursor)+d.logBuf.Count()/2)%d.logBuf.Count(), 0, 32)
+	// Touch the current task struct (private-ish, migrates on reschedule).
+	d.taskStructs.ReadField(p, cpu*4, 0, 16)
+	d.taskStructs.WriteField(p, cpu*4, 16, 8)
+	p.Compute(40) // kernel entry/exit
+}
+
+// osTick models a timer interrupt: the scheduler updates this CPU's
+// run-queue entry (adjacent entries share cache blocks — kernel false
+// sharing) and occasionally takes the scheduler lock to rebalance.
+func (w *OLTP) osTick(p *engine.Proc, d *db) {
+	p.SetSource(memory.SrcOS)
+	cpu := int(p.ID())
+	d.runqueue.ReadField(p, cpu, 0, 8)
+	p.Compute(15)
+	d.runqueue.WriteField(p, cpu, 8, 8)
+	if p.Rand().Intn(2) == 0 {
+		d.schedLock.Acquire(p)
+		// Rebalance scan: read every CPU's run-queue entry, then move a
+		// task: write the busiest entry (a write to read-shared data).
+		busiest := 0
+		for c := 0; c < w.cpus; c++ {
+			d.runqueue.ReadField(p, c, 0, 8)
+			if c%3 == 1 {
+				busiest = c
+			}
+		}
+		d.runqueue.WriteField(p, busiest, 8, 8)
+		// Context switch: the migrated task's struct is read-modify-
+		// written by the new CPU — kernel migratory data.
+		task := (busiest*4 + 1) % d.taskStructs.Count()
+		d.taskStructs.ReadField(p, task, 0, 32)
+		p.Compute(30)
+		d.taskStructs.WriteField(p, task, 32, 16)
+		d.schedLock.Release(p)
+	}
+	p.SetSource(memory.SrcApp)
+}
+
+// branchScan is a read-only reporting query: it reads every branch row
+// plus the tellers of one (rotating) branch, spreading read-shared copies
+// of blocks the update path writes — the source of the paper's >1
+// invalidation per global write.
+func (w *OLTP) branchScan(p *engine.Proc, d *db) {
+	p.SetSource(memory.SrcApp)
+	var sum int64
+	for b := 0; b < d.cfg.Branches; b++ {
+		d.branches.ReadField(p, b, 8, 8)
+		sum += d.bBal[b]
+	}
+	b := int(d.histCursor) % d.cfg.Branches
+	for t := 0; t < d.cfg.TellersPerBranch; t++ {
+		d.tellers.ReadField(p, b*d.cfg.TellersPerBranch+t, 8, 8)
+	}
+	p.Compute(d.cfg.Branches * 2)
+}
+
+// statsScan is the cheap monitor query: it reads the statistics counters,
+// read-sharing the blocks the transactions blindly update. The stats
+// blocks are never load-store-tagged (their writes have no preceding
+// read), so this read-sharing produces invalidations without perturbing
+// the LS optimization.
+func (w *OLTP) statsScan(p *engine.Proc, d *db) {
+	p.SetSource(memory.SrcApp)
+	for i := 0; i < d.statsTable.Count(); i++ {
+		d.statsTable.ReadField(p, i, 8, 8)
+	}
+	// SHOW STATUS: read every thread's status counters.
+	for i := 0; i < d.statusVars.Len(); i += 4 {
+		d.statusVars.Get(p, i)
+	}
+	p.Compute(d.statsTable.Count())
+}
+
+// Balances exposes the host-side balance state after a run, for TPC-B
+// conservation checks (the sums of account, teller and branch deltas must
+// agree).
+func (w *OLTP) Balances() (accounts, tellers, branches []int64) {
+	if w.d == nil {
+		return nil, nil, nil
+	}
+	return w.d.balances, w.d.tBal, w.d.bBal
+}

@@ -1,0 +1,113 @@
+package lsnuma
+
+import (
+	"fmt"
+
+	"lsnuma/internal/engine"
+	"lsnuma/internal/workload"
+	"lsnuma/internal/workload/cholesky"
+	"lsnuma/internal/workload/lu"
+	"lsnuma/internal/workload/mp3d"
+	"lsnuma/internal/workload/oltp"
+)
+
+// registry holds the four paper workloads.
+var registry = func() *workload.Registry {
+	r := workload.NewRegistry()
+	r.Register("mp3d", mp3d.New)
+	r.Register("cholesky", cholesky.New)
+	r.Register("lu", lu.New)
+	r.Register("oltp", oltp.New)
+	return r
+}()
+
+// Workloads lists the available workload names.
+func Workloads() []string { return registry.Names() }
+
+// Run simulates the named workload at the given scale under cfg and
+// returns the full measurement set.
+func Run(cfg Config, workloadName string, scale Scale) (*Result, error) {
+	w, err := registry.New(workloadName, scale, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	return RunWorkload(cfg, w, scale.String())
+}
+
+// RunWorkload simulates an arbitrary workload (including user-defined
+// ones implementing the workload interface via RunPrograms).
+func RunWorkload(cfg Config, w workload.Workload, scaleName string) (*Result, error) {
+	ec, err := cfg.engineConfig()
+	if err != nil {
+		return nil, err
+	}
+	m, err := engine.NewMachine(ec)
+	if err != nil {
+		return nil, err
+	}
+	progs, err := w.Programs(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(progs); err != nil {
+		return nil, fmt.Errorf("lsnuma: %s on %s: %w", w.Name(), cfg.ProtocolName(), err)
+	}
+	res := &Result{
+		Workload: w.Name(),
+		Protocol: cfg.ProtocolName(),
+		Scale:    scaleName,
+		Nodes:    cfg.Nodes,
+	}
+	fillResult(res, m.Stats(), m.Sequences(), m.FalseSharing())
+	return res, nil
+}
+
+// BuildPrograms is the signature for user-defined workloads run through
+// RunPrograms: it allocates shared state on the machine and returns one
+// program per processor.
+type BuildPrograms func(m *engine.Machine) ([]engine.Program, error)
+
+// RunPrograms simulates a custom set of per-processor programs. It gives
+// library users the full program-driven API (engine.Proc, locks,
+// barriers) without registering a named workload.
+func RunPrograms(cfg Config, name string, build BuildPrograms) (*Result, error) {
+	return RunWorkload(cfg, customWorkload{name: name, build: build}, "custom")
+}
+
+type customWorkload struct {
+	name  string
+	build BuildPrograms
+}
+
+func (c customWorkload) Name() string { return c.name }
+func (c customWorkload) Programs(m *engine.Machine) ([]engine.Program, error) {
+	return c.build(m)
+}
+
+// NewEngineMachine builds the underlying simulation machine for advanced
+// uses that need direct engine access (trace capture, custom recorders,
+// hand-driven programs). Most callers should use Run / RunPrograms.
+func NewEngineMachine(cfg Config) (*engine.Machine, error) {
+	ec, err := cfg.engineConfig()
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewMachine(ec)
+}
+
+// Compare runs the workload under all three protocols with otherwise
+// identical configuration and returns the results keyed by protocol, in
+// the paper's order (Baseline, AD, LS).
+func Compare(cfg Config, workloadName string, scale Scale) (map[Protocol]*Result, error) {
+	out := make(map[Protocol]*Result, 3)
+	for _, p := range Protocols() {
+		c := cfg
+		c.Protocol = p
+		res, err := Run(c, workloadName, scale)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package lsnuma
+
+import "math"
+
+// DirectoryOverhead reports the per-memory-block directory storage each
+// protocol needs, in bits — the hardware-cost comparison of the paper's
+// Section 3.1 ("the complexity added for this protocol extension ... is
+// equal to the complexity added by previous migratory sharing
+// techniques").
+type DirectoryOverhead struct {
+	// PresenceBits is the full-map sharer vector (one bit per node).
+	PresenceBits int
+	// StateBits encodes the home state (Uncached/Shared/Dirty/Load-Store).
+	StateBits int
+	// OwnerBits identifies the exclusive owner (log2 N).
+	OwnerBits int
+	// TagBits is the protocol extension's addition: for LS the
+	// last-reader field (log2 N) plus the LS bit; for AD the last-writer
+	// field (log2 N) plus the migratory bit; zero for Baseline.
+	TagBits int
+	// HysteresisBits is the §5.5 two-step counters' cost, when enabled.
+	HysteresisBits int
+}
+
+// Total returns the bits per block.
+func (d DirectoryOverhead) Total() int {
+	return d.PresenceBits + d.StateBits + d.OwnerBits + d.TagBits + d.HysteresisBits
+}
+
+// Overhead computes the per-block directory cost for a protocol on an
+// n-node machine. It returns the zero value for unknown protocols.
+func Overhead(p Protocol, n int, v Variant) DirectoryOverhead {
+	if n < 2 {
+		n = 2
+	}
+	logN := int(math.Ceil(math.Log2(float64(n))))
+	d := DirectoryOverhead{
+		PresenceBits: n,
+		StateBits:    2,
+		OwnerBits:    logN,
+	}
+	switch p {
+	case Baseline, EX:
+		// EX adds no directory state: the annotation travels with the
+		// request.
+	case AD, LS:
+		d.TagBits = logN + 1
+		if v.TagHysteresis > 1 || v.DetagHysteresis > 1 {
+			d.HysteresisBits = 2
+		}
+	default:
+		return DirectoryOverhead{}
+	}
+	return d
+}

@@ -1,0 +1,44 @@
+package lsnuma
+
+import "testing"
+
+func TestOverheadEqualForLSAndAD(t *testing.T) {
+	// The paper's Section 3.1 claim: LS's added complexity equals AD's.
+	for _, n := range []int{4, 16, 32, 64} {
+		ls := Overhead(LS, n, Variant{})
+		ad := Overhead(AD, n, Variant{})
+		if ls != ad {
+			t.Errorf("n=%d: LS %+v != AD %+v", n, ls, ad)
+		}
+		base := Overhead(Baseline, n, Variant{})
+		if ls.Total() <= base.Total() {
+			t.Errorf("n=%d: LS total %d not above baseline %d", n, ls.Total(), base.Total())
+		}
+		if ls.TagBits != ad.TagBits {
+			t.Errorf("n=%d: tag bits differ", n)
+		}
+	}
+}
+
+func TestOverheadValues(t *testing.T) {
+	d := Overhead(LS, 4, Variant{})
+	// 4 presence + 2 state + 2 owner + (2 LR + 1 LS bit) = 11.
+	if d.PresenceBits != 4 || d.StateBits != 2 || d.OwnerBits != 2 || d.TagBits != 3 {
+		t.Errorf("Overhead(LS, 4) = %+v", d)
+	}
+	if d.Total() != 11 {
+		t.Errorf("Total = %d, want 11", d.Total())
+	}
+	if h := Overhead(LS, 4, Variant{TagHysteresis: 2}); h.HysteresisBits != 2 {
+		t.Errorf("hysteresis bits = %d", h.HysteresisBits)
+	}
+	if ex := Overhead(EX, 32, Variant{}); ex.TagBits != 0 {
+		t.Errorf("EX tag bits = %d, want 0 (annotation travels with the request)", ex.TagBits)
+	}
+	if unknown := Overhead("MOESI", 4, Variant{}); unknown.Total() != 0 {
+		t.Errorf("unknown protocol overhead = %+v", unknown)
+	}
+	if small := Overhead(LS, 1, Variant{}); small.OwnerBits != 1 {
+		t.Errorf("n=1 clamps to 2 nodes: %+v", small)
+	}
+}
