@@ -6,7 +6,9 @@ package lsnuma
 //
 //   - sim-cycles:     simulated execution time (Figures 3, 4, 6, 7 left)
 //   - exec-vs-base:   normalized execution time, Baseline = 100
-//   - traffic-vs-base: normalized traffic (middle panels)
+//   - traffic-bytes-vs-base: normalized byte traffic (middle panels)
+//   - traffic-msgs-vs-base:  normalized message counts (same panels;
+//     reported alongside bytes so figures are comparable with lssweep)
 //   - rdmiss-vs-base: normalized global read misses (right panels)
 //
 // Benchmarks default to the test problem scale so `go test -bench=.`
@@ -14,6 +16,7 @@ package lsnuma
 // EXPERIMENTS.md records paper-vs-measured for every artifact.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -52,7 +55,8 @@ func benchBehavior(b *testing.B, cfg Config, workload string) {
 			}
 			b.ReportMetric(float64(res.ExecTime), "sim-cycles")
 			b.ReportMetric(100*float64(res.ExecTime)/float64(base.ExecTime), "exec-vs-base")
-			b.ReportMetric(100*float64(res.Msgs)/float64(base.Msgs), "traffic-vs-base")
+			b.ReportMetric(100*float64(res.Bytes)/float64(base.Bytes), "traffic-bytes-vs-base")
+			b.ReportMetric(100*float64(res.Msgs)/float64(base.Msgs), "traffic-msgs-vs-base")
 			b.ReportMetric(100*float64(res.GlobalReadMisses())/float64(base.GlobalReadMisses()), "rdmiss-vs-base")
 			b.ReportMetric(float64(res.EliminatedOwnership), "eliminated")
 		})
@@ -241,21 +245,74 @@ func BenchmarkAblationHysteresis(b *testing.B) {
 
 // BenchmarkVariationSweep samples the Table 1 parameter space (the
 // paper's "variation analysis have been made for all applications"):
-// block-size variation for MP3D under LS.
+// block-size variation for MP3D under LS, using the same grid definition
+// (SweepGrid) as cmd/lssweep.
 func BenchmarkVariationSweep(b *testing.B) {
-	for _, block := range []uint64{16, 32, 64, 128} {
-		b.Run(fmt.Sprintf("block-%dB", block), func(b *testing.B) {
+	grid, err := SweepGrid(SweepBlock, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pt := range grid {
+		b.Run(pt.Label, func(b *testing.B) {
 			var res *Result
 			for i := 0; i < b.N; i++ {
-				cfg := DefaultConfig()
+				cfg := pt.Config
 				cfg.Protocol = LS
-				cfg.BlockSize = block
 				res = runOnce(b, cfg, "mp3d")
 			}
 			b.ReportMetric(float64(res.ExecTime), "sim-cycles")
 			b.ReportMetric(float64(res.Bytes), "traffic-bytes")
+			b.ReportMetric(float64(res.Msgs), "traffic-msgs")
 		})
 	}
+}
+
+// BenchmarkParallelSweep measures the wall-clock effect of the parallel
+// runner: the Figure 3 comparison (3 protocols x 4 block sizes = 12
+// points) run serially vs on the worker pool. On an N-core machine the
+// parallel form approaches Nx; on a single core the two are equal.
+func BenchmarkParallelSweep(b *testing.B) {
+	points := sweepPoints(b)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, pt := range points {
+				runOnce(b, pt.Config, pt.Workload)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			results, err := RunAll(context.Background(), points, RunOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = results
+		}
+	})
+}
+
+// sweepPoints builds the 12-point block-size x protocol matrix used by
+// BenchmarkParallelSweep and the determinism test.
+func sweepPoints(tb testing.TB) []Point {
+	tb.Helper()
+	grid, err := SweepGrid(SweepBlock, DefaultConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var points []Point
+	for _, g := range grid {
+		for _, p := range Protocols() {
+			cfg := g.Config
+			cfg.Protocol = p
+			points = append(points, Point{
+				Label:    fmt.Sprintf("%s/%s", g.Label, p),
+				Config:   cfg,
+				Workload: "mp3d",
+				Scale:    benchScale(),
+			})
+		}
+	}
+	return points
 }
 
 // BenchmarkSimulatorThroughput measures the simulator itself: simulated

@@ -2,9 +2,15 @@
 // behaviour figures (3, 4, 6, 7), the invalidation-traffic figure (5) and
 // Tables 2-4, plus the Section 5.5 ablations.
 //
+// Independent simulation points (the protocols of a comparison, the grid
+// points of a table, the ablation variants) run concurrently on a bounded
+// worker pool; -j bounds the parallelism (default: all cores) and
+// -timeout aborts points that have not started when it expires.
+//
 // Usage:
 //
 //	lsreport -all -scale small          # everything the paper reports
+//	lsreport -all -j 4                   # at most four concurrent runs
 //	lsreport -fig 3                      # MP3D behaviour figure
 //	lsreport -fig 5                      # Cholesky at 4/16/32 processors
 //	lsreport -table 4                    # false sharing vs block size
@@ -12,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,7 +27,15 @@ import (
 	"lsnuma/internal/report"
 )
 
-var scaleFlag = flag.String("scale", "test", "problem size: test, small, paper")
+var (
+	scaleFlag   = flag.String("scale", "test", "problem size: test, small, paper")
+	parallelism = flag.Int("j", 0, "simulations to run concurrently (0 = all cores)")
+	timeout     = flag.Duration("timeout", 0, "abort the report after this long (0 = no limit)")
+)
+
+// runCtx is the cancellation context shared by every simulation of the
+// invocation (set up in main from -timeout).
+var runCtx = context.Background()
 
 func main() {
 	var (
@@ -30,6 +45,12 @@ func main() {
 		all       = flag.Bool("all", false, "regenerate every figure and table")
 	)
 	flag.Parse()
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
 
 	if *all {
 		for _, f := range []int{3, 4, 5, 6, 7} {
@@ -74,12 +95,25 @@ func scale() lsnuma.Scale {
 	}
 }
 
+func opts() lsnuma.RunOptions {
+	return lsnuma.RunOptions{Parallelism: *parallelism}
+}
+
 func compare(cfg lsnuma.Config, workload string) map[lsnuma.Protocol]*lsnuma.Result {
-	res, err := lsnuma.Compare(cfg, workload, scale())
+	res, err := lsnuma.CompareContext(runCtx, cfg, workload, scale(), opts())
 	if err != nil {
 		fatal(err)
 	}
 	return res
+}
+
+// runAll runs a set of points concurrently, failing on any error.
+func runAll(points []lsnuma.Point) []lsnuma.PointResult {
+	results, err := lsnuma.RunAll(runCtx, points, opts())
+	if err != nil {
+		fatal(err)
+	}
+	return results
 }
 
 func figure(n int) {
@@ -91,11 +125,31 @@ func figure(n int) {
 		fmt.Println(report.BehaviorFigure("Figure 4: Behavior of Cholesky",
 			compare(lsnuma.DefaultConfig(), "cholesky")))
 	case 5:
+		// 3 node counts x 3 protocols, all concurrent.
+		nodeCounts := []int{4, 16, 32}
+		var points []lsnuma.Point
+		for _, nodes := range nodeCounts {
+			for _, p := range lsnuma.Protocols() {
+				cfg := lsnuma.DefaultConfig()
+				cfg.Nodes = nodes
+				cfg.Protocol = p
+				points = append(points, lsnuma.Point{
+					Label:    fmt.Sprintf("procs=%d/%s", nodes, p),
+					Config:   cfg,
+					Workload: "cholesky",
+					Scale:    scale(),
+				})
+			}
+		}
+		results := runAll(points)
 		byProcs := map[int]map[lsnuma.Protocol]*lsnuma.Result{}
-		for _, nodes := range []int{4, 16, 32} {
-			cfg := lsnuma.DefaultConfig()
-			cfg.Nodes = nodes
-			byProcs[nodes] = compare(cfg, "cholesky")
+		i := 0
+		for _, nodes := range nodeCounts {
+			byProcs[nodes] = map[lsnuma.Protocol]*lsnuma.Result{}
+			for _, p := range lsnuma.Protocols() {
+				byProcs[nodes][p] = results[i].Result
+				i++
+			}
 		}
 		fmt.Println(report.InvalidationFigure(
 			"Figure 5: Invalidation traffic for Cholesky at 4, 16, and 32 processors", byProcs))
@@ -124,17 +178,24 @@ func tableOut(n int) {
 		res := compare(lsnuma.OLTPConfig(), "oltp")
 		fmt.Println(report.Table3(res[lsnuma.LS], res[lsnuma.AD]))
 	case 4:
-		byBlock := map[uint64]*lsnuma.Result{}
-		for _, block := range []uint64{16, 32, 64, 128, 256} {
+		blocks := []uint64{16, 32, 64, 128, 256}
+		var points []lsnuma.Point
+		for _, block := range blocks {
 			cfg := lsnuma.OLTPConfig()
 			cfg.Protocol = lsnuma.Baseline
 			cfg.BlockSize = block
 			cfg.TrackFalseSharing = true
-			res, err := lsnuma.Run(cfg, "oltp", scale())
-			if err != nil {
-				fatal(err)
-			}
-			byBlock[block] = res
+			points = append(points, lsnuma.Point{
+				Label:    fmt.Sprintf("block=%dB", block),
+				Config:   cfg,
+				Workload: "oltp",
+				Scale:    scale(),
+			})
+		}
+		results := runAll(points)
+		byBlock := map[uint64]*lsnuma.Result{}
+		for i, block := range blocks {
+			byBlock[block] = results[i].Result
 		}
 		fmt.Println(report.Table4(byBlock))
 	default:
@@ -143,7 +204,8 @@ func tableOut(n int) {
 }
 
 // runAblations reproduces the §5.5 variation analysis: default tagging,
-// the keep-on-write-miss de-tag heuristic, and two-step hysteresis.
+// the keep-on-write-miss de-tag heuristic, and two-step hysteresis. The
+// variants are independent simulations and run concurrently.
 func runAblations() {
 	fmt.Println("=== §5.5 ablations (execution time / total traffic / global read misses) ===")
 	type variantCase struct {
@@ -164,14 +226,16 @@ func runAblations() {
 		{"LS tag-hysteresis=2 (oltp)", "oltp", lsnuma.OLTPConfig(), lsnuma.Variant{TagHysteresis: 2}, lsnuma.LS},
 		{"LS detag-hysteresis=2 (oltp)", "oltp", lsnuma.OLTPConfig(), lsnuma.Variant{DetagHysteresis: 2}, lsnuma.LS},
 	}
-	for _, c := range cases {
+	points := make([]lsnuma.Point, len(cases))
+	for i, c := range cases {
 		cfg := c.cfg
 		cfg.Protocol = c.protocol
 		cfg.Variant = c.variant
-		res, err := lsnuma.Run(cfg, c.workload, scale())
-		if err != nil {
-			fatal(err)
-		}
+		points[i] = lsnuma.Point{Label: c.name, Config: cfg, Workload: c.workload, Scale: scale()}
+	}
+	results := runAll(points)
+	for i, c := range cases {
+		res := results[i].Result
 		fmt.Printf("  %-32s exec=%-10d msgs=%-8d read-misses=%-8d eliminated=%d\n",
 			c.name, res.ExecTime, res.Msgs, res.GlobalReadMisses(), res.EliminatedOwnership)
 	}

@@ -1,15 +1,24 @@
 // Command lssweep runs the paper's variation analysis (Section 5.5 and the
 // Table 1 parameter space): cache-size and block-size sweeps for a
 // workload under every protocol, printing one summary line per point.
+// Normalized lines report both byte traffic (traffic-bytes) and message
+// counts (traffic-msgs) so the figures are comparable with the benchmark
+// harness.
+//
+// All (point, protocol) simulations of a sweep are independent and run
+// concurrently on a bounded worker pool; -j bounds the parallelism
+// (default: all cores) and -timeout aborts points that have not started
+// when it expires.
 //
 // Usage:
 //
 //	lssweep -workload mp3d -sweep block
-//	lssweep -workload oltp -sweep l2
-//	lssweep -workload cholesky -sweep nodes
+//	lssweep -workload oltp -sweep l2 -j 4
+//	lssweep -workload cholesky -sweep nodes -timeout 10m
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +32,8 @@ func main() {
 		workloadName = flag.String("workload", "mp3d", "workload: mp3d, cholesky, lu, oltp")
 		sweep        = flag.String("sweep", "block", "parameter to sweep: block, l1, l2, nodes")
 		scaleName    = flag.String("scale", "test", "problem size: test, small, paper")
+		parallelism  = flag.Int("j", 0, "simulations to run concurrently (0 = all cores)")
+		timeout      = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -43,60 +54,35 @@ func main() {
 		base = lsnuma.OLTPConfig()
 	}
 
-	type point struct {
-		label string
-		cfg   lsnuma.Config
-	}
-	var points []point
-	switch *sweep {
-	case "block":
-		// Table 1: block sizes 16..128 (OLTP's Table 4 also uses 256).
-		for _, b := range []uint64{16, 32, 64, 128} {
-			cfg := base
-			cfg.BlockSize = b
-			points = append(points, point{fmt.Sprintf("block=%dB", b), cfg})
-		}
-	case "l1":
-		// Table 1: L1 sizes 4..64 kB.
-		for _, kb := range []uint64{4, 16, 32, 64} {
-			cfg := base
-			cfg.L1.Size = kb * 1024
-			points = append(points, point{fmt.Sprintf("l1=%dkB", kb), cfg})
-		}
-	case "l2":
-		// Table 1: L2 sizes 64 kB..2 MB.
-		for _, kb := range []uint64{64, 512, 1024, 2048} {
-			cfg := base
-			cfg.L2.Size = kb * 1024
-			if cfg.L1.Size > cfg.L2.Size {
-				cfg.L1.Size = cfg.L2.Size / 2
-			}
-			points = append(points, point{fmt.Sprintf("l2=%dkB", kb), cfg})
-		}
-	case "nodes":
-		for _, n := range []int{2, 4, 8, 16, 32} {
-			cfg := base
-			cfg.Nodes = n
-			points = append(points, point{fmt.Sprintf("nodes=%d", n), cfg})
-		}
-	default:
-		fatal(fmt.Errorf("unknown sweep %q (want block, l1, l2, nodes)", *sweep))
+	param, err := lsnuma.ParseSweepParam(*sweep)
+	if err != nil {
+		fatal(err)
 	}
 
-	for _, pt := range points {
-		results, err := lsnuma.Compare(pt.cfg, *workloadName, scale)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", pt.label, err))
-		}
-		base := results[lsnuma.Baseline]
-		fmt.Printf("%s:\n", pt.label)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	results, err := lsnuma.Sweep(ctx, base, param, *workloadName, scale,
+		lsnuma.RunOptions{Parallelism: *parallelism})
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, pt := range results {
+		base := pt.Results[lsnuma.Baseline]
+		fmt.Printf("%s:\n", pt.Label)
 		for _, p := range lsnuma.Protocols() {
-			r := results[p]
+			r := pt.Results[p]
 			fmt.Printf("  %s\n", report.Summary(r))
 			if p != lsnuma.Baseline && base.ExecTime > 0 {
-				fmt.Printf("    normalized: exec=%.1f traffic=%.1f read-misses=%.1f\n",
+				fmt.Printf("    normalized: exec=%.1f traffic-bytes=%.1f traffic-msgs=%.1f read-misses=%.1f\n",
 					100*float64(r.ExecTime)/float64(base.ExecTime),
 					100*float64(r.Bytes)/float64(base.Bytes),
+					100*float64(r.Msgs)/float64(base.Msgs),
 					100*float64(r.GlobalReadMisses())/float64(base.GlobalReadMisses()))
 			}
 		}

@@ -40,6 +40,10 @@ type Machine struct {
 	procs  []*Proc
 	events chan event
 
+	// split is the reusable scratch buffer for block-straddling accesses
+	// (see execute); only ever used between two scheduler steps.
+	split []memory.Access
+
 	recorder func(OpRecord)
 }
 

@@ -13,7 +13,20 @@ import (
 // processor's clock by the modeled latency and updating all simulator
 // state (caches, directory, network occupancy, statistics, classifiers).
 func (m *Machine) execute(o *op) {
-	parts := m.layout.SplitByBlock(o.addr, o.size)
+	// The common case — an access confined to one block — skips the split
+	// entirely; straddling accesses reuse the machine's scratch buffer so
+	// neither path allocates.
+	if o.size > 0 && m.layout.SameBlock(o.addr, o.addr+memory.Addr(o.size)-1) {
+		if o.rmw {
+			m.accessBlock(o.proc, o.addr, o.size, memory.Load, false, true)
+			m.accessBlock(o.proc, o.addr, o.size, memory.Store, true, false)
+			return
+		}
+		m.accessBlock(o.proc, o.addr, o.size, o.kind, false, o.excl)
+		return
+	}
+	m.split = m.layout.AppendSplitByBlock(m.split[:0], o.addr, o.size)
+	parts := m.split
 	if o.rmw {
 		// The load half of an atomic is a natural exclusive-read site
 		// under the software prefetch-exclusive model.

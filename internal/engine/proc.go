@@ -33,6 +33,12 @@ type Proc struct {
 	// lastDone is the clock after the previous operation completed (used
 	// to compute trace capture gaps).
 	lastDone uint64
+
+	// pending is the processor's single in-flight operation, reused across
+	// submissions: submit blocks until the scheduler has serviced it, so
+	// one op per processor suffices and the per-access heap allocation of
+	// a fresh op is avoided.
+	pending op
 }
 
 // ID returns the processor's node id.
@@ -72,19 +78,20 @@ func (p *Proc) Compute(n int) {
 	p.m.st.CPUs[p.id].Busy += uint64(n)
 }
 
-// submit hands the operation to the scheduler and blocks until it has been
-// serviced (the processor's clock has then been advanced by the modeled
-// latency).
-func (p *Proc) submit(o *op) {
+// submit fills the processor's reusable operation slot, hands it to the
+// scheduler, and blocks until it has been serviced (the processor's clock
+// has then been advanced by the modeled latency).
+func (p *Proc) submit(o op) {
 	o.proc = p
 	o.at = p.clock
-	p.m.events <- event{proc: p, op: o}
+	p.pending = o
+	p.m.events <- event{proc: p, op: &p.pending}
 	<-p.resume
 }
 
 // Read performs a word-sized load at addr.
 func (p *Proc) Read(addr memory.Addr) {
-	p.submit(&op{addr: addr, size: memory.WordSize, kind: memory.Load})
+	p.submit(op{addr: addr, size: memory.WordSize, kind: memory.Load})
 }
 
 // ReadN performs a load of size bytes at addr (split per block as needed).
@@ -92,12 +99,12 @@ func (p *Proc) ReadN(addr memory.Addr, size uint32) {
 	if size == 0 {
 		return
 	}
-	p.submit(&op{addr: addr, size: size, kind: memory.Load})
+	p.submit(op{addr: addr, size: size, kind: memory.Load})
 }
 
 // Write performs a word-sized store at addr.
 func (p *Proc) Write(addr memory.Addr) {
-	p.submit(&op{addr: addr, size: memory.WordSize, kind: memory.Store})
+	p.submit(op{addr: addr, size: memory.WordSize, kind: memory.Store})
 }
 
 // WriteN performs a store of size bytes at addr.
@@ -105,7 +112,7 @@ func (p *Proc) WriteN(addr memory.Addr, size uint32) {
 	if size == 0 {
 		return
 	}
-	p.submit(&op{addr: addr, size: size, kind: memory.Store})
+	p.submit(op{addr: addr, size: size, kind: memory.Store})
 }
 
 // ReadEx performs a word-sized load annotated exclusive: under a machine
@@ -113,7 +120,7 @@ func (p *Proc) WriteN(addr memory.Addr, size uint32) {
 // ownership acquisition (the compiler techniques of §2.1); otherwise it
 // behaves exactly like Read.
 func (p *Proc) ReadEx(addr memory.Addr) {
-	p.submit(&op{addr: addr, size: memory.WordSize, kind: memory.Load, excl: true})
+	p.submit(op{addr: addr, size: memory.WordSize, kind: memory.Load, excl: true})
 }
 
 // ReadExN is ReadEx for a size-byte access.
@@ -121,7 +128,7 @@ func (p *Proc) ReadExN(addr memory.Addr, size uint32) {
 	if size == 0 {
 		return
 	}
-	p.submit(&op{addr: addr, size: size, kind: memory.Load, excl: true})
+	p.submit(op{addr: addr, size: size, kind: memory.Load, excl: true})
 }
 
 // RMW performs an atomic word-sized read-modify-write at addr: a load
@@ -129,5 +136,5 @@ func (p *Proc) ReadExN(addr memory.Addr, size uint32) {
 // access from any other processor — the hardware primitive (ldstub, swap)
 // behind locks, and the archetypal load-store sequence of the paper.
 func (p *Proc) RMW(addr memory.Addr) {
-	p.submit(&op{addr: addr, size: memory.WordSize, kind: memory.Store, rmw: true})
+	p.submit(op{addr: addr, size: memory.WordSize, kind: memory.Store, rmw: true})
 }

@@ -152,12 +152,19 @@ func (l Layout) SplitByBlock(addr Addr, size uint32) []Access {
 	if size == 0 {
 		return nil
 	}
-	first := l.Block(addr)
-	last := l.Block(addr + Addr(size) - 1)
-	if first == last {
-		return []Access{{Addr: addr, Size: size}}
+	return l.AppendSplitByBlock(nil, addr, size)
+}
+
+// AppendSplitByBlock appends the per-block sub-ranges of [addr, addr+size)
+// to dst and returns the extended slice. Callers on hot paths pass a
+// reusable buffer (dst[:0]) so the common case allocates nothing.
+func (l Layout) AppendSplitByBlock(dst []Access, addr Addr, size uint32) []Access {
+	if size == 0 {
+		return dst
 	}
-	var out []Access
+	if l.SameBlock(addr, addr+Addr(size)-1) {
+		return append(dst, Access{Addr: addr, Size: size})
+	}
 	cur := addr
 	remaining := uint64(size)
 	for remaining > 0 {
@@ -166,11 +173,11 @@ func (l Layout) SplitByBlock(addr Addr, size uint32) []Access {
 		if n > remaining {
 			n = remaining
 		}
-		out = append(out, Access{Addr: cur, Size: uint32(n)})
+		dst = append(dst, Access{Addr: cur, Size: uint32(n)})
 		cur += Addr(n)
 		remaining -= n
 	}
-	return out
+	return dst
 }
 
 // Allocator hands out non-overlapping address ranges from the simulated

@@ -213,3 +213,26 @@ func TestPointToPointUnchangedByTopologyDefault(t *testing.T) {
 		t.Error("default topology not single-hop")
 	}
 }
+
+// TestSendAllocationFree guards the message hot path: Send is pure
+// counter arithmetic (port occupancy + traffic accounting) and must not
+// allocate — messages are never materialized as objects. Together with
+// the engine's op reuse this keeps the per-access simulation path
+// allocation-free.
+func TestSendAllocationFree(t *testing.T) {
+	st := stats.New(4)
+	nw, err := New(Config{HopDelay: 40, BytesPerCycle: 8, BlockSize: 32}, 4, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		for mt := stats.MsgType(0); mt < stats.NumMsgTypes; mt++ {
+			now = nw.Send(0, 1, mt, now)
+			now = nw.Send(1, 0, mt, now)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Send allocates %.1f times per message batch, want 0", allocs)
+	}
+}

@@ -94,20 +94,3 @@ func NewEngineMachine(cfg Config) (*engine.Machine, error) {
 	}
 	return engine.NewMachine(ec)
 }
-
-// Compare runs the workload under all three protocols with otherwise
-// identical configuration and returns the results keyed by protocol, in
-// the paper's order (Baseline, AD, LS).
-func Compare(cfg Config, workloadName string, scale Scale) (map[Protocol]*Result, error) {
-	out := make(map[Protocol]*Result, 3)
-	for _, p := range Protocols() {
-		c := cfg
-		c.Protocol = p
-		res, err := Run(c, workloadName, scale)
-		if err != nil {
-			return nil, err
-		}
-		out[p] = res
-	}
-	return out, nil
-}

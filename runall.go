@@ -1,0 +1,105 @@
+package lsnuma
+
+import (
+	"context"
+
+	"lsnuma/internal/runner"
+)
+
+// Point is one independent simulation of a (config, workload, scale)
+// triple — one cell of the paper's evaluation matrix.
+type Point struct {
+	// Label identifies the point in reports (e.g. "block=64B/LS").
+	Label    string
+	Config   Config
+	Workload string
+	Scale    Scale
+}
+
+// PointResult pairs a Point with its outcome: exactly one of Result and
+// Err is non-nil.
+type PointResult struct {
+	Point
+	Result *Result
+	Err    error
+}
+
+// RunOptions controls the parallel execution of a point set.
+type RunOptions struct {
+	// Parallelism bounds the number of simulations running at once;
+	// <= 0 selects runtime.GOMAXPROCS(0) (all cores).
+	Parallelism int
+}
+
+// RunAll executes the points concurrently on a bounded worker pool and
+// returns their outcomes in point order (deterministic regardless of
+// completion order — every Machine is self-contained, so point i's
+// Result is bit-identical to a serial Run of the same point).
+//
+// One failed point does not abort the sweep: all points run, failures
+// are recorded per point, and the returned error aggregates them
+// (errors.Join of *runner.JobError; nil when everything succeeded).
+// Cancelling ctx skips points that have not started and records ctx's
+// error for them; points already running complete normally.
+func RunAll(ctx context.Context, points []Point, opt RunOptions) ([]PointResult, error) {
+	out := make([]PointResult, len(points))
+	for i := range points {
+		out[i].Point = points[i]
+	}
+	_, err := runner.Run(ctx, len(points), opt.Parallelism, func(ctx context.Context, i int) error {
+		res, err := Run(points[i].Config, points[i].Workload, points[i].Scale)
+		if err != nil {
+			out[i].Err = err
+			return err
+		}
+		out[i].Result = res
+		return nil
+	})
+	if err != nil {
+		// Points skipped by cancellation carry the context error.
+		for i := range out {
+			if out[i].Result == nil && out[i].Err == nil {
+				out[i].Err = ctx.Err()
+			}
+		}
+	}
+	return out, err
+}
+
+// Compare runs the workload under all three protocols with otherwise
+// identical configuration and returns the results keyed by protocol, in
+// the paper's order (Baseline, AD, LS). The protocols run concurrently;
+// see CompareContext for cancellation and parallelism control.
+func Compare(cfg Config, workloadName string, scale Scale) (map[Protocol]*Result, error) {
+	return CompareContext(context.Background(), cfg, workloadName, scale, RunOptions{})
+}
+
+// CompareContext is Compare with a cancellation context and explicit run
+// options. Results are independent per protocol and bit-identical to
+// serial Run calls (the simulations share no state).
+func CompareContext(ctx context.Context, cfg Config, workloadName string, scale Scale, opt RunOptions) (map[Protocol]*Result, error) {
+	protos := Protocols()
+	points := make([]Point, len(protos))
+	for i, p := range protos {
+		c := cfg
+		c.Protocol = p
+		points[i] = Point{Label: string(p), Config: c, Workload: workloadName, Scale: scale}
+	}
+	results, err := RunAll(ctx, points, opt)
+	if err != nil {
+		// Preserve Compare's historical contract: any failure fails the
+		// comparison (a protocol comparison with a missing column is
+		// useless), reporting the first failed point's error.
+		for _, r := range results {
+			if r.Err != nil {
+				return nil, r.Err
+			}
+		}
+		return nil, err
+	}
+	out := make(map[Protocol]*Result, len(protos))
+	for i, p := range protos {
+		out[p] = results[i].Result
+	}
+	return out, nil
+}
