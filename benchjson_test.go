@@ -1,0 +1,117 @@
+package lsnuma
+
+// Machine-readable benchmark results. `go test -run WriteBenchJSON
+// -benchjson BENCH_2.json .` benchmarks every figure workload under both
+// schedulers (the default run-ahead handoff scheduler and the serial
+// per-access handshake scheduler kept behind Config.SerialSchedule) and
+// writes one JSON record per point: wall-clock ns/op, allocations per
+// run, simulated cycles, and simulator throughput in simulated cycles
+// and simulated memory operations per wall-clock second. The file checked
+// in at the repo root records the speedup of the run-ahead scheduler on
+// the machine that generated it; regenerate it when touching the engine
+// hot path.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+)
+
+var benchJSONFlag = flag.String("benchjson", "", "write machine-readable scheduler benchmarks to this file")
+
+// BenchPoint is one benchmarked configuration in the -benchjson output.
+type BenchPoint struct {
+	Workload  string `json:"workload"`
+	Protocol  string `json:"protocol"`
+	Scheduler string `json:"scheduler"` // "run-ahead" or "serial"
+
+	NsPerOp         float64 `json:"ns_per_op"`       // wall-clock per full simulation
+	AllocsPerOp     int64   `json:"allocs_per_op"`   // heap allocations per full simulation
+	SimCycles       uint64  `json:"sim_cycles"`      // simulated execution time
+	SimOps          uint64  `json:"sim_ops"`         // simulated loads + stores
+	SimOpsPerSec    float64 `json:"sim_ops_per_sec"` // simulator throughput
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+}
+
+// BenchReport is the top-level -benchjson document.
+type BenchReport struct {
+	GOOS    string       `json:"goos"`
+	GOARCH  string       `json:"goarch"`
+	NumCPU  int          `json:"num_cpu"`
+	Scale   string       `json:"scale"`
+	Results []BenchPoint `json:"results"`
+}
+
+func TestWriteBenchJSON(t *testing.T) {
+	if *benchJSONFlag == "" {
+		t.Skip("set -benchjson <file> to generate machine-readable benchmarks")
+	}
+	workloads := []struct {
+		name string
+		cfg  Config
+	}{
+		{"mp3d", DefaultConfig()},
+		{"cholesky", DefaultConfig()},
+		{"lu", DefaultConfig()},
+		{"oltp", OLTPConfig()},
+	}
+	report := BenchReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(),
+		Scale: "test",
+	}
+	for _, w := range workloads {
+		for _, sched := range []string{"run-ahead", "serial"} {
+			cfg := w.cfg
+			cfg.Protocol = LS
+			cfg.SerialSchedule = sched == "serial"
+			var last *Result
+			br := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := Run(cfg, w.name, ScaleTest)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+			})
+			secPerOp := float64(br.NsPerOp()) / 1e9
+			simOps := last.Loads + last.Stores
+			report.Results = append(report.Results, BenchPoint{
+				Workload:  w.name,
+				Protocol:  string(LS),
+				Scheduler: sched,
+
+				NsPerOp:         float64(br.NsPerOp()),
+				AllocsPerOp:     br.AllocsPerOp(),
+				SimCycles:       last.ExecTime,
+				SimOps:          simOps,
+				SimOpsPerSec:    float64(simOps) / secPerOp,
+				SimCyclesPerSec: float64(last.ExecTime) / secPerOp,
+			})
+			t.Logf("%s/%s: %.2fms/op, %d allocs, %d sim-cycles, %.2fM sim-ops/s",
+				w.name, sched, float64(br.NsPerOp())/1e6, br.AllocsPerOp(),
+				last.ExecTime, float64(simOps)/secPerOp/1e6)
+		}
+	}
+	// Both schedulers must agree on every simulated quantity; the report
+	// would otherwise be comparing different experiments.
+	for i := 0; i+1 < len(report.Results); i += 2 {
+		a, s := report.Results[i], report.Results[i+1]
+		if a.SimCycles != s.SimCycles || a.SimOps != s.SimOps {
+			t.Errorf("%s: schedulers disagree: run-ahead %d cycles/%d ops, serial %d cycles/%d ops",
+				a.Workload, a.SimCycles, a.SimOps, s.SimCycles, s.SimOps)
+		}
+	}
+	f, err := os.Create(*benchJSONFlag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"lsnuma"
+	"lsnuma/internal/prof"
 	"lsnuma/internal/report"
 )
 
@@ -31,7 +32,13 @@ var (
 	scaleFlag   = flag.String("scale", "test", "problem size: test, small, paper")
 	parallelism = flag.Int("j", 0, "simulations to run concurrently (0 = all cores)")
 	timeout     = flag.Duration("timeout", 0, "abort the report after this long (0 = no limit)")
+	cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
+
+// stopProfiles flushes any active profiles; fatal calls it so profiles
+// survive error exits (os.Exit skips the deferred call).
+var stopProfiles = func() {}
 
 // runCtx is the cancellation context shared by every simulation of the
 // invocation (set up in main from -timeout).
@@ -45,6 +52,13 @@ func main() {
 		all       = flag.Bool("all", false, "regenerate every figure and table")
 	)
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -242,6 +256,7 @@ func runAblations() {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "lsreport:", err)
 	os.Exit(1)
 }

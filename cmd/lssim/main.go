@@ -15,8 +15,13 @@ import (
 	"sort"
 
 	"lsnuma"
+	"lsnuma/internal/prof"
 	"lsnuma/internal/report"
 )
+
+// stopProfiles flushes any active profiles; fatal calls it so profiles
+// survive error exits (os.Exit skips the deferred call).
+var stopProfiles = func() {}
 
 func main() {
 	var (
@@ -35,8 +40,18 @@ func main() {
 		figure       = flag.Bool("figure", false, "render the three-panel behaviour figure (needs -protocol all)")
 		regions      = flag.Bool("regions", false, "print per-region load-store coverage")
 		jsonOut      = flag.Bool("json", false, "emit results as JSON instead of text")
+		serial       = flag.Bool("serial", false, "use the per-access handshake scheduler (slower; for debugging/differential runs)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	scale, err := parseScale(*scaleName)
 	if err != nil {
@@ -54,6 +69,7 @@ func main() {
 		cfg.L2.Size = *l2Size
 	}
 	cfg.TrackFalseSharing = *falseShare
+	cfg.SerialSchedule = *serial
 	cfg.Variant = lsnuma.Variant{
 		DefaultTagged:   *defaultTag,
 		KeepOnWriteMiss: *keepOnMiss,
@@ -164,6 +180,7 @@ func printResult(r *lsnuma.Result) {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "lssim:", err)
 	os.Exit(1)
 }

@@ -108,6 +108,11 @@ type Config struct {
 	RelaxedWrites bool
 	// MaxCycles aborts runaway runs; zero applies a generous default.
 	MaxCycles uint64
+	// SerialSchedule forces the per-access handshake scheduler instead of
+	// the default run-ahead handoff scheduler. The two produce
+	// bit-identical results; the serial path exists for differential
+	// testing and debugging (see internal/engine.Config.SerialSchedule).
+	SerialSchedule bool
 }
 
 // DefaultConfig returns the paper's baseline configuration for the
@@ -189,6 +194,7 @@ func (c Config) engineConfig() (engine.Config, error) {
 		SoftwareExclusive: softwareExclusive,
 		RelaxedWrites:     c.RelaxedWrites,
 		MaxCycles:         maxCycles,
+		SerialSchedule:    c.SerialSchedule,
 	}, nil
 }
 

@@ -1,0 +1,137 @@
+package lsnuma
+
+// Differential determinism tests for the run-ahead handoff scheduler:
+// every workload × protocol combination must export byte-identical
+// Results under Config.SerialSchedule and under the default run-ahead
+// scheduler. The serial per-access handshake scheduler is the reference
+// semantics; the run-ahead scheduler claims to service operations in
+// exactly the same order, and these tests hold it to that across the
+// full workload matrix, including the 16- and 32-processor Figure 5
+// configurations and the micro kernels.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lsnuma/internal/workload/micro"
+)
+
+// exportJSON renders a Result to its canonical JSON form for comparison.
+func exportJSON(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runBoth runs the same point under both schedulers and fails unless the
+// exported Results match byte for byte.
+func runBoth(t *testing.T, cfg Config, run func(Config) (*Result, error)) {
+	t.Helper()
+	cfg.SerialSchedule = true
+	serial, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SerialSchedule = false
+	ahead, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, aj := exportJSON(t, serial), exportJSON(t, ahead)
+	if !bytes.Equal(sj, aj) {
+		t.Errorf("schedulers diverge:\nserial:    %s\nrun-ahead: %s", sj, aj)
+	}
+}
+
+// TestDifferentialWorkloads covers the four paper workloads under all
+// three protocols at the default node counts.
+func TestDifferentialWorkloads(t *testing.T) {
+	for _, w := range Workloads() {
+		for _, p := range Protocols() {
+			w, p := w, p
+			t.Run(fmt.Sprintf("%s/%s", w, p), func(t *testing.T) {
+				t.Parallel()
+				cfg := DefaultConfig()
+				if w == "oltp" {
+					cfg = OLTPConfig()
+				}
+				cfg.Protocol = p
+				runBoth(t, cfg, func(c Config) (*Result, error) {
+					return Run(c, w, ScaleTest)
+				})
+			})
+		}
+	}
+}
+
+// TestDifferentialScaling covers the Figure 5 processor counts: Cholesky
+// at 16 and 32 CPUs, where the scheduler heap actually gets deep.
+func TestDifferentialScaling(t *testing.T) {
+	for _, nodes := range []int{16, 32} {
+		for _, p := range Protocols() {
+			nodes, p := nodes, p
+			t.Run(fmt.Sprintf("cholesky-%dcpu/%s", nodes, p), func(t *testing.T) {
+				t.Parallel()
+				cfg := DefaultConfig()
+				cfg.Nodes = nodes
+				cfg.Protocol = p
+				runBoth(t, cfg, func(c Config) (*Result, error) {
+					return Run(c, "cholesky", ScaleTest)
+				})
+			})
+		}
+	}
+}
+
+// TestDifferentialMicros covers the micro kernels (migratory,
+// private-evict, read-shared, producer-consumer) under all protocols.
+func TestDifferentialMicros(t *testing.T) {
+	for _, kind := range micro.Kinds() {
+		for _, p := range Protocols() {
+			kind, p := kind, p
+			t.Run(fmt.Sprintf("%s/%s", kind, p), func(t *testing.T) {
+				t.Parallel()
+				cfg := DefaultConfig()
+				cfg.Protocol = p
+				runBoth(t, cfg, func(c Config) (*Result, error) {
+					return RunWorkload(c, micro.New(kind, ScaleTest, c.Nodes), "test")
+				})
+			})
+		}
+	}
+}
+
+// TestDifferentialAblations covers the configuration corners that stress
+// different engine paths: relaxed writes, software-exclusive reads, false
+// sharing tracking, and the §5.5 protocol variants.
+func TestDifferentialAblations(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"relaxed-writes", func(c *Config) { c.Protocol = LS; c.RelaxedWrites = true }},
+		{"software-exclusive", func(c *Config) { c.Protocol = EX }},
+		{"false-sharing", func(c *Config) { c.Protocol = Baseline; c.TrackFalseSharing = true }},
+		{"default-tagged", func(c *Config) { c.Protocol = LS; c.Variant.DefaultTagged = true }},
+		{"hysteresis", func(c *Config) {
+			c.Protocol = LS
+			c.Variant.TagHysteresis = 2
+			c.Variant.DetagHysteresis = 2
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			runBoth(t, cfg, func(c Config) (*Result, error) {
+				return Run(c, "mp3d", ScaleTest)
+			})
+		})
+	}
+}

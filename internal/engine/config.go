@@ -84,6 +84,14 @@ type Config struct {
 	// MaxCycles aborts a run whose processors exceed this many cycles
 	// (a guard against livelocked workloads). Zero means no limit.
 	MaxCycles uint64
+	// SerialSchedule forces the per-access handshake scheduler: every
+	// memory operation round-trips through the central scheduler, as the
+	// engine originally worked. The default run-ahead scheduler instead
+	// leases processors the right to service local hits inline (see
+	// Machine.schedule); the two produce bit-identical results — the
+	// serial path is kept for differential testing, and is used
+	// automatically when a trace recorder is installed.
+	SerialSchedule bool
 	// SoftwareExclusive honours exclusive-read annotations (Proc.ReadEx
 	// and the load half of RMW): the read request is combined with the
 	// ownership acquisition at the annotated sites, modelling the static

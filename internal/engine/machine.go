@@ -44,6 +44,30 @@ type Machine struct {
 	// (see execute); only ever used between two scheduler steps.
 	split []memory.Access
 
+	// Scheduler state for the default handoff scheduler. Exactly one
+	// goroutine is active at a time (initially Run, then whichever
+	// processor goroutine last received a resume — it "holds the conch");
+	// only the active goroutine touches these fields, and every transfer
+	// of control happens through a channel operation, so the accesses are
+	// totally ordered without locks.
+	h    opHeap     // pending ops of every parked processor
+	live int        // processors whose programs have not finished
+	done chan error // handoff scheduler's completion signal to Run
+
+	// serial selects the per-access handshake scheduler (SerialSchedule
+	// or an installed recorder); set once before the goroutines start.
+	serial bool
+
+	// aborted is set (once) by drain/abortConch after a scheduler error;
+	// program goroutines observe it after their next resume and
+	// terminate. All accesses are ordered by the resume/events channel
+	// operations.
+	aborted bool
+
+	// runAheadOps counts operations serviced inline under a run-ahead
+	// lease, bypassing the scheduler handshake (introspection/tests).
+	runAheadOps uint64
+
 	recorder func(OpRecord)
 }
 
@@ -134,8 +158,14 @@ func (m *Machine) Directory() *directory.Directory { return m.dir }
 func (m *Machine) Hierarchy(n memory.NodeID) *cache.Hierarchy { return m.nodes[n].caches }
 
 // SetRecorder installs a hook invoked for every scheduled memory
-// operation (trace capture). Must be set before Run.
+// operation (trace capture). Must be set before Run. A recorder implies
+// the serial scheduler: every operation must pass through the scheduler
+// for the hook to see it, so run-ahead is disabled for the run.
 func (m *Machine) SetRecorder(fn func(OpRecord)) { m.recorder = fn }
+
+// RunAheadOps returns the number of operations serviced inline under a
+// run-ahead lease (zero under Config.SerialSchedule or a recorder).
+func (m *Machine) RunAheadOps() uint64 { return m.runAheadOps }
 
 // Run executes one program per processor to completion and finalizes the
 // statistics. The i-th program runs on node i; if fewer programs than
@@ -149,6 +179,8 @@ func (m *Machine) Run(programs []Program) error {
 		return fmt.Errorf("engine: %d programs for %d nodes", len(programs), m.cfg.Nodes)
 	}
 	m.events = make(chan event)
+	m.done = make(chan error)
+	m.serial = m.cfg.SerialSchedule || m.recorder != nil
 	for i, prog := range programs {
 		if prog == nil {
 			continue // nil program: the node stays idle
@@ -161,23 +193,178 @@ func (m *Machine) Run(programs []Program) error {
 		m.procs = append(m.procs, p)
 		go func(prog Program, p *Proc) {
 			defer func() {
-				if r := recover(); r != nil {
+				r := recover()
+				switch {
+				case r == nil:
+					if p.active {
+						m.finish(p) // holds the conch: drive the next step
+						return
+					}
+					m.events <- event{proc: p}
+				case isAbort(r):
+					// Terminated by a drain; report back unless this
+					// goroutine initiated the abort itself (the drain
+					// then already ran and nobody is listening).
+					if r.(abortProgram).notify {
+						m.events <- event{proc: p, err: r}
+					}
+				case p.active:
+					m.abortConch(p, fmt.Errorf("engine: program on CPU %d panicked: %v", p.id, r))
+				default:
 					m.events <- event{proc: p, err: r}
-					return
 				}
-				m.events <- event{proc: p}
 			}()
 			prog(p)
 		}(prog, p)
 	}
+	if m.serial {
+		return m.scheduleSerial()
+	}
 	return m.schedule()
 }
 
-// schedule is the deterministic serial scheduler: it waits for the single
-// running processor to submit its next memory operation (or finish), then
-// services the pending operation with the smallest processor clock
-// (tie-break: lowest CPU id).
+// service executes one scheduled operation: the recorder hook (if any),
+// the detailed memory-system model, and the issuing processor's
+// completion bookkeeping. Shared by both schedulers and identical in
+// effect to the inline run-ahead path of Proc.runInline.
+func (m *Machine) service(next *op) {
+	if m.recorder != nil {
+		gap := uint32(0)
+		if next.at > next.proc.lastDone {
+			gap = uint32(next.at - next.proc.lastDone)
+		}
+		m.recorder(OpRecord{
+			CPU: next.proc.id, Addr: next.addr, Size: next.size,
+			Kind: next.kind, RMW: next.rmw, Source: next.proc.src,
+			Compute: gap,
+		})
+	}
+	m.execute(next)
+	next.proc.lastDone = next.proc.clock
+}
+
+// schedule is the default run-ahead handoff scheduler. Service order is
+// identical to the serial scheduler — always the pending operation with
+// the smallest (clock, CPU id), kept in a min-heap rather than rescanned
+// linearly — but the per-access handshake with a central goroutine is
+// gone. Run only collects every processor's first operation and services
+// the winner; from then on the active processor goroutine drives the
+// schedule itself (Proc.submitSlow, Machine.finish): it pushes its own
+// operation, pops the global minimum, services it, and either continues
+// (its own op won — zero context switches) or hands control directly to
+// the winning processor (one switch, versus two through a scheduler
+// goroutine). On top of that, every service grants the processor a
+// run-ahead lease — the (clock, id) horizon of the best other pending
+// operation — under which purely local hits are serviced inline with no
+// heap traffic at all (Proc.runInline). Every step services the same op
+// the serial scheduler would pick, so simulated cycle counts are
+// bit-identical. Run waits on m.done for completion or error.
 func (m *Machine) schedule() error {
+	running := len(m.procs)
+	m.live = len(m.procs)
+	m.h.a = make([]*op, 0, len(m.procs))
+
+	// Collect every processor's first operation (programs run their
+	// prologues concurrently, exactly as under the serial scheduler).
+	for running > 0 {
+		ev := <-m.events
+		running--
+		if ev.err != nil {
+			m.drain(m.live-1, m.h.a)
+			return fmt.Errorf("engine: program on CPU %d panicked: %v", ev.proc.id, ev.err)
+		}
+		if ev.op == nil {
+			m.live--
+			continue
+		}
+		m.h.push(ev.op)
+	}
+	if m.live == 0 {
+		if m.fs != nil {
+			m.fs.Finalize()
+		}
+		return nil
+	}
+
+	// First step: service the winner and hand it the conch.
+	next := m.h.pop()
+	if m.cfg.MaxCycles > 0 && next.at > m.cfg.MaxCycles {
+		m.h.push(next)
+		m.drain(m.live, m.h.a)
+		return fmt.Errorf("engine: CPU %d exceeded MaxCycles=%d (livelock guard)", next.proc.id, m.cfg.MaxCycles)
+	}
+	m.service(next)
+	m.grantLease(next.proc)
+	next.proc.resume <- struct{}{}
+
+	return <-m.done
+}
+
+// grantLease grants p the run-ahead lease up to the best other pending
+// op. With no other pending op the lease is unbounded (the id bound is
+// above every real CPU id, so the tie case cannot reject).
+func (m *Machine) grantLease(p *Proc) {
+	if o := m.h.min(); o != nil {
+		p.leaseAt, p.leaseID = o.at, o.proc.id
+	} else {
+		p.leaseAt, p.leaseID = ^uint64(0), memory.NodeID(m.cfg.Nodes)
+	}
+}
+
+// finish retires a processor whose program returned while holding the
+// conch: it either completes the run or performs one scheduler step to
+// pass control on.
+func (m *Machine) finish(p *Proc) {
+	m.live--
+	if m.live == 0 {
+		if m.fs != nil {
+			m.fs.Finalize()
+		}
+		m.done <- nil
+		return
+	}
+	next := m.h.pop()
+	if m.cfg.MaxCycles > 0 && next.at > m.cfg.MaxCycles {
+		m.h.push(next)
+		m.abortConch(p, fmt.Errorf("engine: CPU %d exceeded MaxCycles=%d (livelock guard)", next.proc.id, m.cfg.MaxCycles))
+		return
+	}
+	m.service(next)
+	m.grantLease(next.proc)
+	next.proc.resume <- struct{}{}
+}
+
+// abortConch aborts the run from the goroutine holding the conch: every
+// parked processor is woken in turn and panics out through Proc.submit
+// (terminating spin loops), each reporting back before the next is woken
+// so the one-goroutine-at-a-time discipline holds throughout; then the
+// error is delivered to Run. Operations belonging to the caller itself
+// are skipped — the caller exits (or panics abortProgram{notify: false})
+// right after, without reporting. Run therefore leaks no goroutines on
+// the handoff scheduler's error paths.
+func (m *Machine) abortConch(self *Proc, err error) {
+	m.aborted = true
+	for {
+		o := m.h.pop()
+		if o == nil {
+			break
+		}
+		if o.proc == self {
+			continue
+		}
+		o.proc.resume <- struct{}{}
+		<-m.events // the woken processor's terminal event
+	}
+	m.done <- err
+}
+
+// scheduleSerial is the per-access handshake scheduler: every memory
+// operation of every processor is submitted over the events channel and
+// serviced here, with the runnable set rescanned linearly. It is the
+// reference implementation the run-ahead scheduler must match bit for
+// bit, kept alive behind Config.SerialSchedule for differential testing,
+// and the path used when a recorder is installed.
+func (m *Machine) scheduleSerial() error {
 	running := len(m.procs)
 	pending := make([]*op, m.cfg.Nodes) // indexed by CPU id
 	live := len(m.procs)
@@ -187,7 +374,7 @@ func (m *Machine) schedule() error {
 			ev := <-m.events
 			running--
 			if ev.err != nil {
-				// A program panicked: drain cannot continue safely.
+				m.drain(live-1, pending)
 				return fmt.Errorf("engine: program on CPU %d panicked: %v", ev.proc.id, ev.err)
 			}
 			if ev.op == nil {
@@ -205,7 +392,7 @@ func (m *Machine) schedule() error {
 			if o == nil {
 				continue
 			}
-			if next == nil || o.at < next.at || (o.at == next.at && o.proc.id < next.proc.id) {
+			if next == nil || opBefore(o, next) {
 				next = o
 			}
 		}
@@ -213,22 +400,11 @@ func (m *Machine) schedule() error {
 			return fmt.Errorf("engine: deadlock — %d live processors but none runnable", live)
 		}
 		if m.cfg.MaxCycles > 0 && next.at > m.cfg.MaxCycles {
+			m.drain(live, pending)
 			return fmt.Errorf("engine: CPU %d exceeded MaxCycles=%d (livelock guard)", next.proc.id, m.cfg.MaxCycles)
 		}
 		pending[next.proc.id] = nil
-		if m.recorder != nil {
-			gap := uint32(0)
-			if next.at > next.proc.lastDone {
-				gap = uint32(next.at - next.proc.lastDone)
-			}
-			m.recorder(OpRecord{
-				CPU: next.proc.id, Addr: next.addr, Size: next.size,
-				Kind: next.kind, RMW: next.rmw, Source: next.proc.src,
-				Compute: gap,
-			})
-		}
-		m.execute(next)
-		next.proc.lastDone = next.proc.clock
+		m.service(next)
 		running = 1
 		next.proc.resume <- struct{}{}
 	}
@@ -237,6 +413,31 @@ func (m *Machine) schedule() error {
 		m.fs.Finalize()
 	}
 	return nil
+}
+
+// drain terminates every remaining program goroutine after a scheduler
+// error, so Run's error paths leak nothing: parked processors (those with
+// a pending operation, passed in; nil entries are skipped) are resumed,
+// and every later submission is answered with an immediate resume.
+// Proc.submit observes m.aborted after each resume and panics with
+// abortProgram, which the program goroutine's recover converts into a
+// final event. alive is the number of processors that have not yet sent
+// their final event.
+func (m *Machine) drain(alive int, parked []*op) {
+	m.aborted = true
+	for _, o := range parked {
+		if o != nil {
+			o.proc.resume <- struct{}{}
+		}
+	}
+	for alive > 0 {
+		ev := <-m.events
+		if ev.op != nil {
+			ev.proc.resume <- struct{}{}
+			continue
+		}
+		alive--
+	}
 }
 
 // CheckCoherence validates the global single-writer/multiple-reader

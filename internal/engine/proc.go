@@ -1,10 +1,27 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
 
+	"lsnuma/internal/cache"
 	"lsnuma/internal/memory"
 )
+
+// abortProgram is the sentinel panic Proc.submit raises once the
+// scheduler has failed and is draining: it unwinds the program goroutine
+// (terminating spin loops that would otherwise never return), and the
+// goroutine's recover reports it back as the processor's final event —
+// unless notify is false, which marks the goroutine that initiated the
+// abort itself (its abortConch already delivered the error and nobody
+// is listening for a further event).
+type abortProgram struct{ notify bool }
+
+// isAbort reports whether a recovered panic value is the drain sentinel.
+func isAbort(r any) bool {
+	_, ok := r.(abortProgram)
+	return ok
+}
 
 // op is one memory operation submitted to the scheduler.
 type op struct {
@@ -39,6 +56,23 @@ type Proc struct {
 	// one op per processor suffices and the per-access heap allocation of
 	// a fresh op is avoided.
 	pending op
+
+	// leaseAt/leaseID are the processor's run-ahead lease: the (clock, id)
+	// horizon of the best other pending operation, granted by the
+	// scheduler on resume. Operations ordering strictly before the
+	// horizon are serviced inline with no scheduler handshake (see
+	// runInline). Zero under the serial scheduler, which never grants
+	// leases, so the inline path is dead there (the zero lease rejects
+	// every operation, including during the concurrent startup phase).
+	leaseAt uint64
+	leaseID memory.NodeID
+
+	// active marks a processor that has completed its first handoff-
+	// scheduler submission: from then on, whenever its goroutine runs it
+	// holds the conch and drives scheduler steps itself (see submit).
+	// Always false under the serial scheduler. Written only by this
+	// processor's goroutine.
+	active bool
 }
 
 // ID returns the processor's node id.
@@ -78,15 +112,92 @@ func (p *Proc) Compute(n int) {
 	p.m.st.CPUs[p.id].Busy += uint64(n)
 }
 
-// submit fills the processor's reusable operation slot, hands it to the
-// scheduler, and blocks until it has been serviced (the processor's clock
-// has then been advanced by the modeled latency).
+// submit services one memory operation. Fast path: inline in this
+// goroutine when the run-ahead lease permits (runInline). Otherwise,
+// under the handoff scheduler, this goroutine holds the conch and drives
+// one scheduler step itself: park the operation in the heap, pop the
+// global minimum, service it, and either continue (own op won — zero
+// context switches) or hand the conch to the winner and block until a
+// later step services our operation (one switch). The serial scheduler
+// and the processor's very first operation instead go through the events
+// channel to the goroutine running Machine.Run. On every return the
+// operation has been serviced and the clock advanced by the modeled
+// latency.
 func (p *Proc) submit(o op) {
 	o.proc = p
 	o.at = p.clock
+	if p.runInline(&o) {
+		return
+	}
 	p.pending = o
-	p.m.events <- event{proc: p, op: &p.pending}
+	m := p.m
+	if m.serial || !p.active {
+		// Serial scheduler, or the first operation (collected centrally
+		// by Machine.schedule while the prologues run concurrently).
+		m.events <- event{proc: p, op: &p.pending}
+		<-p.resume
+		if m.aborted {
+			panic(abortProgram{notify: true})
+		}
+		p.active = !m.serial
+		return
+	}
+	m.h.push(&p.pending)
+	next := m.h.pop()
+	if m.cfg.MaxCycles > 0 && next.at > m.cfg.MaxCycles {
+		m.h.push(next) // park its processor with the rest for the abort
+		m.abortConch(p, fmt.Errorf("engine: CPU %d exceeded MaxCycles=%d (livelock guard)", next.proc.id, m.cfg.MaxCycles))
+		panic(abortProgram{notify: false})
+	}
+	m.service(next)
+	m.grantLease(next.proc)
+	if next.proc == p {
+		return // our own operation won: keep the conch
+	}
+	next.proc.resume <- struct{}{}
 	<-p.resume
+	if m.aborted {
+		panic(abortProgram{notify: true})
+	}
+}
+
+// runInline services o in the processor's own goroutine under its
+// run-ahead lease, with no scheduler handshake, and reports whether it
+// did. It may do so only when both hold:
+//
+//   - (o.at, p.id) orders strictly before the lease horizon — these are
+//     exactly the operations the scheduler would pick next anyway, so
+//     servicing them here preserves the global service order bit for bit;
+//   - the operation is purely local: single-block, not an atomic, within
+//     the MaxCycles guard, and classified hit/upgrade-free without side
+//     effects — everything global (directory, network, invalidations,
+//     the livelock guard) stays on the scheduler path.
+//
+// While this processor runs ahead, the scheduler is blocked receiving and
+// every other processor is blocked on its resume channel, so the
+// one-goroutine-at-a-time discipline (and with it the race-freedom of the
+// shared simulator state) is unchanged.
+func (p *Proc) runInline(o *op) bool {
+	if o.at > p.leaseAt || (o.at == p.leaseAt && p.id >= p.leaseID) {
+		return false
+	}
+	if o.rmw {
+		return false
+	}
+	m := p.m
+	if m.cfg.MaxCycles > 0 && o.at > m.cfg.MaxCycles {
+		return false
+	}
+	if !m.layout.SameBlock(o.addr, o.addr+memory.Addr(o.size)-1) {
+		return false
+	}
+	if m.nodes[p.id].caches.Classify(m.layout.Block(o.addr), o.kind) != cache.NoGlobal {
+		return false
+	}
+	m.accessBlock(p, o.addr, o.size, o.kind, false, o.excl)
+	p.lastDone = p.clock
+	m.runAheadOps++
+	return true
 }
 
 // Read performs a word-sized load at addr.

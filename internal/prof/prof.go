@@ -1,0 +1,55 @@
+// Package prof wires the standard runtime/pprof profilers into the
+// command-line tools: a -cpuprofile flag captures where the simulator
+// spends its time (the scheduler work behind the run-ahead optimization
+// was found this way), a -memprofile flag captures heap allocations.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuFile (when non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memFile (when non-empty). The stop function is safe to call more than
+// once, so tools can invoke it both from a defer and from their fatal
+// path before os.Exit.
+func Start(cpuFile, memFile string) (func(), error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		cpu = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
