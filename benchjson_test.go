@@ -1,15 +1,17 @@
 package lsnuma
 
 // Machine-readable benchmark results. `go test -run WriteBenchJSON
-// -benchjson BENCH_2.json .` benchmarks every figure workload under both
+// -benchjson BENCH_3.json .` benchmarks every figure workload under both
 // schedulers (the default run-ahead handoff scheduler and the serial
-// per-access handshake scheduler kept behind Config.SerialSchedule) and
-// writes one JSON record per point: wall-clock ns/op, allocations per
-// run, simulated cycles, and simulator throughput in simulated cycles
-// and simulated memory operations per wall-clock second. The file checked
-// in at the repo root records the speedup of the run-ahead scheduler on
-// the machine that generated it; regenerate it when touching the engine
-// hot path.
+// per-access handshake scheduler kept behind Config.SerialSchedule) and,
+// on the run-ahead scheduler, at every online-checking level
+// (Config.Check off / touched / full), writing one JSON record per
+// point: wall-clock ns/op, allocations per run, simulated cycles, and
+// simulator throughput in simulated cycles and simulated memory
+// operations per wall-clock second. The file checked in at the repo root
+// records the run-ahead speedup and the checker overhead on the machine
+// that generated it; regenerate it when touching the engine hot path or
+// the checker.
 
 import (
 	"encoding/json"
@@ -26,6 +28,7 @@ type BenchPoint struct {
 	Workload  string `json:"workload"`
 	Protocol  string `json:"protocol"`
 	Scheduler string `json:"scheduler"` // "run-ahead" or "serial"
+	Check     string `json:"check"`     // online checking level: "off", "touched", "full"
 
 	NsPerOp         float64 `json:"ns_per_op"`       // wall-clock per full simulation
 	AllocsPerOp     int64   `json:"allocs_per_op"`   // heap allocations per full simulation
@@ -57,15 +60,28 @@ func TestWriteBenchJSON(t *testing.T) {
 		{"lu", DefaultConfig()},
 		{"oltp", OLTPConfig()},
 	}
+	// The serial scheduler runs only unchecked (its cost is the scheduler
+	// handshake, not the checker); the checker overhead is measured on the
+	// production run-ahead path.
+	variants := []struct {
+		sched string
+		check CheckLevel
+	}{
+		{"run-ahead", CheckOff},
+		{"serial", CheckOff},
+		{"run-ahead", CheckTouched},
+		{"run-ahead", CheckFull},
+	}
 	report := BenchReport{
 		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(),
 		Scale: "test",
 	}
 	for _, w := range workloads {
-		for _, sched := range []string{"run-ahead", "serial"} {
+		for _, v := range variants {
 			cfg := w.cfg
 			cfg.Protocol = LS
-			cfg.SerialSchedule = sched == "serial"
+			cfg.SerialSchedule = v.sched == "serial"
+			cfg.Check = v.check
 			var last *Result
 			br := testing.Benchmark(func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
@@ -81,7 +97,8 @@ func TestWriteBenchJSON(t *testing.T) {
 			report.Results = append(report.Results, BenchPoint{
 				Workload:  w.name,
 				Protocol:  string(LS),
-				Scheduler: sched,
+				Scheduler: v.sched,
+				Check:     string(v.check),
 
 				NsPerOp:         float64(br.NsPerOp()),
 				AllocsPerOp:     br.AllocsPerOp(),
@@ -90,18 +107,25 @@ func TestWriteBenchJSON(t *testing.T) {
 				SimOpsPerSec:    float64(simOps) / secPerOp,
 				SimCyclesPerSec: float64(last.ExecTime) / secPerOp,
 			})
-			t.Logf("%s/%s: %.2fms/op, %d allocs, %d sim-cycles, %.2fM sim-ops/s",
-				w.name, sched, float64(br.NsPerOp())/1e6, br.AllocsPerOp(),
+			t.Logf("%s/%s/check=%s: %.2fms/op, %d allocs, %d sim-cycles, %.2fM sim-ops/s",
+				w.name, v.sched, v.check, float64(br.NsPerOp())/1e6, br.AllocsPerOp(),
 				last.ExecTime, float64(simOps)/secPerOp/1e6)
 		}
 	}
-	// Both schedulers must agree on every simulated quantity; the report
-	// would otherwise be comparing different experiments.
-	for i := 0; i+1 < len(report.Results); i += 2 {
-		a, s := report.Results[i], report.Results[i+1]
-		if a.SimCycles != s.SimCycles || a.SimOps != s.SimOps {
-			t.Errorf("%s: schedulers disagree: run-ahead %d cycles/%d ops, serial %d cycles/%d ops",
-				a.Workload, a.SimCycles, a.SimOps, s.SimCycles, s.SimOps)
+	// Every variant of a workload — either scheduler, any checking level —
+	// must agree on every simulated quantity; the report would otherwise be
+	// comparing different experiments.
+	first := map[string]BenchPoint{}
+	for _, p := range report.Results {
+		ref, ok := first[p.Workload]
+		if !ok {
+			first[p.Workload] = p
+			continue
+		}
+		if p.SimCycles != ref.SimCycles || p.SimOps != ref.SimOps {
+			t.Errorf("%s: %s/check=%s disagrees with %s/check=%s: %d cycles/%d ops vs %d cycles/%d ops",
+				p.Workload, p.Scheduler, p.Check, ref.Scheduler, ref.Check,
+				p.SimCycles, p.SimOps, ref.SimCycles, ref.SimOps)
 		}
 	}
 	f, err := os.Create(*benchJSONFlag)

@@ -32,9 +32,20 @@ var (
 	scaleFlag   = flag.String("scale", "test", "problem size: test, small, paper")
 	parallelism = flag.Int("j", 0, "simulations to run concurrently (0 = all cores)")
 	timeout     = flag.Duration("timeout", 0, "abort the report after this long (0 = no limit)")
+	checkFlag   = flag.String("check", "off", "online coherence invariant checking: off, touched, full")
+	faultsFlag  = flag.String("faults", "", "inject a protocol fault into every point: class[@afterOp][:seed]")
 	cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
+
+// checkLevel is the parsed -check flag, applied to every simulation
+// point by robust.
+var checkLevel lsnuma.CheckLevel
+
+// failed counts simulation points that could not be completed; a partial
+// report still renders (failed figures become annotated holes) but the
+// process exits non-zero.
+var failed int
 
 // stopProfiles flushes any active profiles; fatal calls it so profiles
 // survive error exits (os.Exit skips the deferred call).
@@ -60,6 +71,10 @@ func main() {
 	stopProfiles = stop
 	defer stop()
 
+	if checkLevel, err = lsnuma.ParseCheckLevel(*checkFlag); err != nil {
+		fatal(err)
+	}
+
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
@@ -74,7 +89,7 @@ func main() {
 			tableOut(tb)
 		}
 		runAblations()
-		return
+		exit()
 	}
 	ran := false
 	if *fig != 0 {
@@ -93,6 +108,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	exit()
+}
+
+// exit terminates the report: non-zero when any point failed, so a
+// partial report is distinguishable from a clean one.
+func exit() {
+	stopProfiles()
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "lsreport: %d simulation point(s) failed (output above is partial)\n", failed)
+		os.Exit(1)
+	}
+	os.Exit(0)
 }
 
 func scale() lsnuma.Scale {
@@ -113,19 +140,51 @@ func opts() lsnuma.RunOptions {
 	return lsnuma.RunOptions{Parallelism: *parallelism}
 }
 
-func compare(cfg lsnuma.Config, workload string) map[lsnuma.Protocol]*lsnuma.Result {
-	res, err := lsnuma.CompareContext(runCtx, cfg, workload, scale(), opts())
-	if err != nil {
-		fatal(err)
-	}
-	return res
+// robust applies the report-wide -check / -faults flags to one point's
+// configuration.
+func robust(cfg lsnuma.Config) lsnuma.Config {
+	cfg.Check = checkLevel
+	cfg.Faults = *faultsFlag
+	return cfg
 }
 
-// runAll runs a set of points concurrently, failing on any error.
+// compare runs the workload under all protocols; a failed protocol
+// leaves a hole in the map (annotated on stderr) instead of killing the
+// report.
+func compare(cfg lsnuma.Config, workload string) map[lsnuma.Protocol]*lsnuma.Result {
+	protos := lsnuma.Protocols()
+	points := make([]lsnuma.Point, len(protos))
+	for i, p := range protos {
+		c := robust(cfg)
+		c.Protocol = p
+		points[i] = lsnuma.Point{Label: fmt.Sprintf("%s/%s", workload, p), Config: c, Workload: workload, Scale: scale()}
+	}
+	results := runAll(points)
+	out := make(map[lsnuma.Protocol]*lsnuma.Result, len(protos))
+	for i, p := range protos {
+		if results[i].Result != nil {
+			out[p] = results[i].Result
+		}
+	}
+	return out
+}
+
+// runAll runs a set of points concurrently. Failed points are reported
+// on stderr (with their diagnostic bundle) and come back with a nil
+// Result — an annotated hole, not a dead report.
 func runAll(points []lsnuma.Point) []lsnuma.PointResult {
 	results, err := lsnuma.RunAll(runCtx, points, opts())
 	if err != nil {
-		fatal(err)
+		for _, r := range results {
+			if r.Err == nil {
+				continue
+			}
+			failed++
+			fmt.Fprintf(os.Stderr, "lsreport: %s: %v\n", r.Label, r.Err)
+			if b := r.Repro; b != nil && b.Retry != "" {
+				fmt.Fprintf(os.Stderr, "lsreport: %s: %s\n", r.Label, b.Retry)
+			}
+		}
 	}
 	return results
 }
@@ -144,7 +203,7 @@ func figure(n int) {
 		var points []lsnuma.Point
 		for _, nodes := range nodeCounts {
 			for _, p := range lsnuma.Protocols() {
-				cfg := lsnuma.DefaultConfig()
+				cfg := robust(lsnuma.DefaultConfig())
 				cfg.Nodes = nodes
 				cfg.Protocol = p
 				points = append(points, lsnuma.Point{
@@ -161,7 +220,9 @@ func figure(n int) {
 		for _, nodes := range nodeCounts {
 			byProcs[nodes] = map[lsnuma.Protocol]*lsnuma.Result{}
 			for _, p := range lsnuma.Protocols() {
-				byProcs[nodes][p] = results[i].Result
+				if results[i].Result != nil {
+					byProcs[nodes][p] = results[i].Result
+				}
 				i++
 			}
 		}
@@ -181,21 +242,26 @@ func figure(n int) {
 func tableOut(n int) {
 	switch n {
 	case 2:
-		cfg := lsnuma.OLTPConfig()
+		cfg := robust(lsnuma.OLTPConfig())
 		cfg.Protocol = lsnuma.Baseline
-		res, err := lsnuma.Run(cfg, "oltp", scale())
-		if err != nil {
-			fatal(err)
+		pts := []lsnuma.Point{{Label: "table2/oltp", Config: cfg, Workload: "oltp", Scale: scale()}}
+		if res := runAll(pts)[0].Result; res != nil {
+			fmt.Println(report.Table2(res))
+		} else {
+			fmt.Println("Table 2: SKIPPED (simulation failed; see stderr)")
 		}
-		fmt.Println(report.Table2(res))
 	case 3:
 		res := compare(lsnuma.OLTPConfig(), "oltp")
+		if res[lsnuma.LS] == nil || res[lsnuma.AD] == nil {
+			fmt.Println("Table 3: SKIPPED (simulation failed; see stderr)")
+			break
+		}
 		fmt.Println(report.Table3(res[lsnuma.LS], res[lsnuma.AD]))
 	case 4:
 		blocks := []uint64{16, 32, 64, 128, 256}
 		var points []lsnuma.Point
 		for _, block := range blocks {
-			cfg := lsnuma.OLTPConfig()
+			cfg := robust(lsnuma.OLTPConfig())
 			cfg.Protocol = lsnuma.Baseline
 			cfg.BlockSize = block
 			cfg.TrackFalseSharing = true
@@ -209,7 +275,9 @@ func tableOut(n int) {
 		results := runAll(points)
 		byBlock := map[uint64]*lsnuma.Result{}
 		for i, block := range blocks {
-			byBlock[block] = results[i].Result
+			if results[i].Result != nil {
+				byBlock[block] = results[i].Result
+			}
 		}
 		fmt.Println(report.Table4(byBlock))
 	default:
@@ -242,7 +310,7 @@ func runAblations() {
 	}
 	points := make([]lsnuma.Point, len(cases))
 	for i, c := range cases {
-		cfg := c.cfg
+		cfg := robust(c.cfg)
 		cfg.Protocol = c.protocol
 		cfg.Variant = c.variant
 		points[i] = lsnuma.Point{Label: c.name, Config: cfg, Workload: c.workload, Scale: scale()}
@@ -250,6 +318,10 @@ func runAblations() {
 	results := runAll(points)
 	for i, c := range cases {
 		res := results[i].Result
+		if res == nil {
+			fmt.Printf("  %-32s FAILED (see stderr)\n", c.name)
+			continue
+		}
 		fmt.Printf("  %-32s exec=%-10d msgs=%-8d read-misses=%-8d eliminated=%d\n",
 			c.name, res.ExecTime, res.Msgs, res.GlobalReadMisses(), res.EliminatedOwnership)
 	}

@@ -41,6 +41,8 @@ func main() {
 		regions      = flag.Bool("regions", false, "print per-region load-store coverage")
 		jsonOut      = flag.Bool("json", false, "emit results as JSON instead of text")
 		serial       = flag.Bool("serial", false, "use the per-access handshake scheduler (slower; for debugging/differential runs)")
+		checkLevel   = flag.String("check", "off", "online coherence invariant checking: off, touched, full")
+		faults       = flag.String("faults", "", "inject a protocol fault: class[@afterOp][:seed] (see lsnuma.Config.Faults)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -70,6 +72,10 @@ func main() {
 	}
 	cfg.TrackFalseSharing = *falseShare
 	cfg.SerialSchedule = *serial
+	if cfg.Check, err = lsnuma.ParseCheckLevel(*checkLevel); err != nil {
+		fatal(err)
+	}
+	cfg.Faults = *faults
 	cfg.Variant = lsnuma.Variant{
 		DefaultTagged:   *defaultTag,
 		KeepOnWriteMiss: *keepOnMiss,

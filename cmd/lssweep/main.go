@@ -34,6 +34,8 @@ func main() {
 		scaleName    = flag.String("scale", "test", "problem size: test, small, paper")
 		parallelism  = flag.Int("j", 0, "simulations to run concurrently (0 = all cores)")
 		timeout      = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
+		checkLevel   = flag.String("check", "off", "online coherence invariant checking: off, touched, full")
+		faults       = flag.String("faults", "", "inject a protocol fault into every cell: class[@afterOp][:seed]")
 	)
 	flag.Parse()
 
@@ -53,6 +55,12 @@ func main() {
 	if *workloadName == "oltp" {
 		base = lsnuma.OLTPConfig()
 	}
+	check, err := lsnuma.ParseCheckLevel(*checkLevel)
+	if err != nil {
+		fatal(err)
+	}
+	base.Check = check
+	base.Faults = *faults
 
 	param, err := lsnuma.ParseSweepParam(*sweep)
 	if err != nil {
@@ -66,19 +74,26 @@ func main() {
 		defer cancel()
 	}
 
-	results, err := lsnuma.Sweep(ctx, base, param, *workloadName, scale,
+	// A failed cell must not kill the sweep: print every completed cell,
+	// annotate the holes with their error and diagnostic bundle, and exit
+	// non-zero at the end if anything failed.
+	results, runErr := lsnuma.Sweep(ctx, base, param, *workloadName, scale,
 		lsnuma.RunOptions{Parallelism: *parallelism})
-	if err != nil {
-		fatal(err)
-	}
 
+	failed := 0
 	for _, pt := range results {
 		base := pt.Results[lsnuma.Baseline]
 		fmt.Printf("%s:\n", pt.Label)
 		for _, p := range lsnuma.Protocols() {
 			r := pt.Results[p]
+			if r == nil {
+				failed++
+				fmt.Printf("  %s: FAILED: %v\n", p, pt.Errs[p])
+				printRepro(pt.Repros[p])
+				continue
+			}
 			fmt.Printf("  %s\n", report.Summary(r))
-			if p != lsnuma.Baseline && base.ExecTime > 0 {
+			if p != lsnuma.Baseline && base != nil && base.ExecTime > 0 {
 				fmt.Printf("    normalized: exec=%.1f traffic-bytes=%.1f traffic-msgs=%.1f read-misses=%.1f\n",
 					100*float64(r.ExecTime)/float64(base.ExecTime),
 					100*float64(r.Bytes)/float64(base.Bytes),
@@ -86,6 +101,34 @@ func main() {
 					100*float64(r.GlobalReadMisses())/float64(base.GlobalReadMisses()))
 			}
 		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "lssweep: %d cell(s) failed (results above are partial)\n", failed)
+		os.Exit(1)
+	}
+}
+
+// printRepro summarizes a failed cell's diagnostic bundle.
+func printRepro(b *lsnuma.ReproBundle) {
+	if b == nil {
+		return
+	}
+	if b.Retry != "" {
+		fmt.Printf("    %s\n", b.Retry)
+	}
+	if n := len(b.LastOps); n > 0 {
+		show := b.LastOps
+		if n > 8 {
+			show = show[n-8:]
+		}
+		fmt.Printf("    last ops before failure:")
+		for _, o := range show {
+			fmt.Printf(" [%s]", o)
+		}
+		fmt.Println()
+	}
+	if b.Stack != "" {
+		fmt.Printf("    panic stack captured (%d bytes); re-run the cell with lssim for the full trace\n", len(b.Stack))
 	}
 }
 

@@ -34,6 +34,8 @@ func main() {
 		scaleName    = flag.String("scale", "test", "problem size for capture")
 		out          = flag.String("o", "trace.lstr", "output trace file for capture")
 	)
+	flag.StringVar(&checkFlag, "check", "off", "online coherence invariant checking: off, touched, full")
+	flag.StringVar(&faultsFlag, "faults", "", "inject a protocol fault: class[@afterOp][:seed]")
 	flag.Parse()
 
 	switch {
@@ -49,6 +51,13 @@ func main() {
 	}
 }
 
+// checkFlag / faultsFlag are the robustness knobs shared by capture and
+// replay (see lsnuma.Config.Check / Config.Faults).
+var (
+	checkFlag  string
+	faultsFlag string
+)
+
 // buildMachine lowers a public config to an engine machine (trace capture
 // needs direct engine access for the recorder hook).
 func buildMachine(workloadName, protoName string) (*engine.Machine, error) {
@@ -57,6 +66,12 @@ func buildMachine(workloadName, protoName string) (*engine.Machine, error) {
 		cfg = lsnuma.OLTPConfig()
 	}
 	cfg.Protocol = lsnuma.Protocol(protoName)
+	check, err := lsnuma.ParseCheckLevel(checkFlag)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Check = check
+	cfg.Faults = faultsFlag
 	return lsnuma.NewEngineMachine(cfg)
 }
 

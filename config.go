@@ -20,8 +20,12 @@
 package lsnuma
 
 import (
+	"fmt"
+
 	"lsnuma/internal/cache"
+	"lsnuma/internal/check"
 	"lsnuma/internal/engine"
+	"lsnuma/internal/fault"
 	"lsnuma/internal/network"
 	"lsnuma/internal/protocol"
 	"lsnuma/internal/workload"
@@ -55,6 +59,31 @@ const (
 	ScaleSmall = workload.ScaleSmall
 	ScalePaper = workload.ScalePaper
 )
+
+// CheckLevel selects how much online coherence invariant checking a
+// simulation performs (see the Robustness section of the README).
+type CheckLevel string
+
+const (
+	// CheckOff disables online checking (the default; near-zero cost).
+	CheckOff CheckLevel = "off"
+	// CheckTouched validates every block an operation touches, before and
+	// after the transaction.
+	CheckTouched CheckLevel = "touched"
+	// CheckFull is CheckTouched plus a whole-machine invariant sweep every
+	// CheckInterval operations and at the end of the run.
+	CheckFull CheckLevel = "full"
+)
+
+// ParseCheckLevel converts a level name ("off", "touched", "full"; ""
+// means off) to a CheckLevel.
+func ParseCheckLevel(s string) (CheckLevel, error) {
+	lvl, err := check.ParseLevel(s)
+	if err != nil {
+		return CheckOff, err
+	}
+	return CheckLevel(lvl.String()), nil
+}
 
 // CacheConfig describes one cache level.
 type CacheConfig struct {
@@ -113,6 +142,25 @@ type Config struct {
 	// bit-identical results; the serial path exists for differential
 	// testing and debugging (see internal/engine.Config.SerialSchedule).
 	SerialSchedule bool
+	// Check runs the coherence invariant checker online ("" or CheckOff
+	// disables it). Checking is side-effect free: simulated Results are
+	// byte-identical with it on or off; a violation aborts the run with a
+	// structured error naming the block, CPUs, cache and directory states,
+	// and cycle.
+	Check CheckLevel
+	// CheckInterval is the full-sweep period in serviced operations under
+	// CheckFull (zero = the engine default, 4096).
+	CheckInterval uint64
+	// Faults injects a deterministic protocol fault, for validating the
+	// checker: "class[@afterOp][:seed]", e.g. "forge-owner@500:7". Classes:
+	// flip-presence, forge-owner, drop-inval, corrupt-home,
+	// silent-downgrade, leak-ls-tag. Empty disables injection. Never set
+	// this for real measurements.
+	Faults string
+	// RecordOps keeps a ring buffer of the last RecordOps memory
+	// operations for crash diagnostics (surfaced in ReproBundle.LastOps).
+	// Zero disables the ring.
+	RecordOps int
 }
 
 // DefaultConfig returns the paper's baseline configuration for the
@@ -171,6 +219,17 @@ func (c Config) engineConfig() (engine.Config, error) {
 	if maxCycles == 0 {
 		maxCycles = 100_000_000_000
 	}
+	level, err := check.ParseLevel(string(c.Check))
+	if err != nil {
+		return engine.Config{}, fmt.Errorf("lsnuma: %w", err)
+	}
+	var injector *fault.Injector
+	if c.Faults != "" {
+		injector, err = fault.ParseSpec(c.Faults)
+		if err != nil {
+			return engine.Config{}, fmt.Errorf("lsnuma: %w", err)
+		}
+	}
 	return engine.Config{
 		Nodes: c.Nodes,
 		L1: cache.Config{
@@ -195,6 +254,10 @@ func (c Config) engineConfig() (engine.Config, error) {
 		RelaxedWrites:     c.RelaxedWrites,
 		MaxCycles:         maxCycles,
 		SerialSchedule:    c.SerialSchedule,
+		CheckLevel:        level,
+		CheckInterval:     c.CheckInterval,
+		FaultInjector:     injector,
+		RecordOps:         c.RecordOps,
 	}, nil
 }
 

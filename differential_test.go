@@ -105,6 +105,51 @@ func TestDifferentialMicros(t *testing.T) {
 	}
 }
 
+// TestCheckedMatrix certifies the whole workload × protocol matrix
+// invariant-clean under online coherence checking, and holds the checker
+// to its no-perturbation contract: the exported Results with
+// Check=touched (and, outside -short, Check=full) must be byte-identical
+// to the unchecked run, under both schedulers.
+func TestCheckedMatrix(t *testing.T) {
+	levels := []CheckLevel{CheckTouched}
+	if !testing.Short() {
+		levels = append(levels, CheckFull)
+	}
+	for _, w := range Workloads() {
+		for _, p := range Protocols() {
+			w, p := w, p
+			t.Run(fmt.Sprintf("%s/%s", w, p), func(t *testing.T) {
+				t.Parallel()
+				cfg := DefaultConfig()
+				if w == "oltp" {
+					cfg = OLTPConfig()
+				}
+				cfg.Protocol = p
+				ref, err := Run(cfg, w, ScaleTest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rj := exportJSON(t, ref)
+				for _, serial := range []bool{false, true} {
+					for _, level := range levels {
+						c := cfg
+						c.SerialSchedule = serial
+						c.Check = level
+						res, err := Run(c, w, ScaleTest)
+						if err != nil {
+							t.Fatalf("serial=%v check=%s: %v", serial, level, err)
+						}
+						if cj := exportJSON(t, res); !bytes.Equal(rj, cj) {
+							t.Errorf("serial=%v check=%s diverges from unchecked:\nunchecked: %s\nchecked:   %s",
+								serial, level, rj, cj)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestDifferentialAblations covers the configuration corners that stress
 // different engine paths: relaxed writes, software-exclusive reads, false
 // sharing tracking, and the §5.5 protocol variants.

@@ -237,6 +237,20 @@ func (h *Hierarchy) State(block memory.Addr) State {
 	return h.l2.Probe(block)
 }
 
+// ForceState overwrites the state of a resident block in both levels
+// without any coherence action, and reports whether the block was
+// resident. This is a fault-injection hook (internal/fault): it
+// deliberately creates the silent corruption — a stale exclusive copy, a
+// leaked LStemp grant — that the online invariant checker must detect.
+// Never call it from protocol code.
+func (h *Hierarchy) ForceState(block memory.Addr, s State) bool {
+	if !h.l2.SetState(block, s) {
+		return false
+	}
+	h.l1.SetState(block, s) // may be absent from L1; that is fine
+	return true
+}
+
 // CheckInclusion verifies that every valid L1 line has a valid L2 line with
 // a compatible state. Intended for tests; returns the first violation.
 func (h *Hierarchy) CheckInclusion() error {

@@ -1,0 +1,226 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"lsnuma/internal/cache"
+	"lsnuma/internal/directory"
+	"lsnuma/internal/memory"
+)
+
+// harness is a hand-built 4-node machine state: directory plus per-node
+// cache hierarchies, with no engine attached, so tests can construct
+// arbitrary (including illegal) global states directly.
+type harness struct {
+	layout  memory.Layout
+	dir     *directory.Directory
+	caches  []*cache.Hierarchy
+	checker *Checker
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	layout, err := memory.NewLayout(4096, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := directory.New(layout, nil)
+	caches := make([]*cache.Hierarchy, 4)
+	for i := range caches {
+		h, err := cache.NewHierarchy(
+			cache.Config{Size: 1024, Assoc: 1, BlockSize: 16, AccessTime: 1},
+			cache.Config{Size: 4096, Assoc: 1, BlockSize: 16, AccessTime: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches[i] = h
+	}
+	return &harness{layout: layout, dir: dir, caches: caches,
+		checker: New(layout, dir, caches)}
+}
+
+// expectViolation asserts CheckBlock reports the named invariant.
+func (h *harness) expectViolation(t *testing.T, block memory.Addr, invariant string) *CoherenceViolation {
+	t.Helper()
+	err := h.checker.CheckBlock(block, 42)
+	if err == nil {
+		t.Fatalf("CheckBlock(%#x): no violation, want %q", block, invariant)
+	}
+	v, ok := err.(*CoherenceViolation)
+	if !ok {
+		t.Fatalf("CheckBlock(%#x): error type %T, want *CoherenceViolation", block, err)
+	}
+	if v.Invariant != invariant {
+		t.Fatalf("CheckBlock(%#x): invariant %q, want %q (%v)", block, v.Invariant, invariant, v)
+	}
+	return v
+}
+
+func TestCleanStatesPass(t *testing.T) {
+	h := newHarness(t)
+	const block = memory.Addr(0x100)
+
+	// Empty machine.
+	if err := h.checker.CheckAll(0); err != nil {
+		t.Fatalf("empty machine: %v", err)
+	}
+
+	// Two sharers, exact directory.
+	h.caches[0].Fill(block, cache.Shared)
+	h.caches[2].Fill(block, cache.Shared)
+	e := h.dir.Entry(block)
+	e.State = directory.Shared
+	e.Sharers.Add(0)
+	e.Sharers.Add(2)
+	if err := h.checker.CheckAll(0); err != nil {
+		t.Fatalf("shared state: %v", err)
+	}
+
+	// One Modified owner under a Dirty home.
+	const owned = memory.Addr(0x200)
+	h.caches[1].Fill(owned, cache.Modified)
+	oe := h.dir.Entry(owned)
+	oe.State = directory.Dirty
+	oe.Owner = 1
+	if err := h.checker.CheckAll(0); err != nil {
+		t.Fatalf("owned state: %v", err)
+	}
+
+	// The LS protocol's silent promotion: a Modified copy while the home
+	// still says Load-Store (Excl) is legal.
+	oe.State = directory.Excl
+	if err := h.checker.CheckBlock(owned, 0); err != nil {
+		t.Fatalf("silent promotion: %v", err)
+	}
+
+	// An LStemp copy under a Load-Store home.
+	const ls = memory.Addr(0x300)
+	h.caches[3].Fill(ls, cache.LStemp)
+	le := h.dir.Entry(ls)
+	le.State = directory.Excl
+	le.Owner = 3
+	if err := h.checker.CheckAll(0); err != nil {
+		t.Fatalf("LStemp state: %v", err)
+	}
+}
+
+func TestSWMRViolation(t *testing.T) {
+	h := newHarness(t)
+	const block = memory.Addr(0x100)
+	h.caches[0].Fill(block, cache.Modified)
+	h.caches[1].Fill(block, cache.Shared)
+	v := h.expectViolation(t, block, "swmr")
+	if v.Cycle != 42 {
+		t.Errorf("cycle = %d, want 42", v.Cycle)
+	}
+}
+
+func TestDirectoryExactnessViolations(t *testing.T) {
+	h := newHarness(t)
+
+	// Cached block with no directory entry at all.
+	const orphan = memory.Addr(0x100)
+	h.caches[0].Fill(orphan, cache.Shared)
+	h.expectViolation(t, orphan, "directory-exactness")
+
+	// Modified copy while the home thinks the block is Shared.
+	const stale = memory.Addr(0x200)
+	h.caches[1].Fill(stale, cache.Modified)
+	e := h.dir.Entry(stale)
+	e.State = directory.Shared
+	e.Sharers.Add(1)
+	h.expectViolation(t, stale, "directory-exactness")
+
+	// LStemp copy the home never granted (home still Shared).
+	const leak = memory.Addr(0x300)
+	h.caches[2].Fill(leak, cache.LStemp)
+	le := h.dir.Entry(leak)
+	le.State = directory.Shared
+	le.Sharers.Add(2)
+	h.expectViolation(t, leak, "directory-exactness")
+
+	// Shared copy whose presence bit is missing.
+	const dropped = memory.Addr(0x400)
+	h.caches[3].Fill(dropped, cache.Shared)
+	de := h.dir.Entry(dropped)
+	de.State = directory.Shared
+	de.Sharers.Add(0)
+	h.caches[0].Fill(dropped, cache.Shared)
+	de.Sharers.Remove(3) // no-op: bit never set; cpu3 is the unlisted sharer
+	h.expectViolation(t, dropped, "directory-exactness")
+}
+
+func TestHomeStateViolation(t *testing.T) {
+	h := newHarness(t)
+	const block = memory.Addr(0x100)
+	e := h.dir.Entry(block)
+	e.State = directory.Dirty
+	e.Owner = memory.NoNode // structurally illegal: Dirty with no owner
+	h.expectViolation(t, block, "home-state")
+}
+
+func TestGhostHolderViolation(t *testing.T) {
+	h := newHarness(t)
+	const block = memory.Addr(0x100)
+	e := h.dir.Entry(block)
+	e.State = directory.Shared
+	e.Sharers.Add(1) // cpu1's cache is empty
+	v := h.expectViolation(t, block, "directory-ghost")
+	if !strings.Contains(v.Detail, "cpu 1") {
+		t.Errorf("detail %q does not name the ghost holder", v.Detail)
+	}
+}
+
+func TestViolationErrorRendering(t *testing.T) {
+	h := newHarness(t)
+	const block = memory.Addr(0x110)
+	h.caches[0].Fill(block, cache.Modified)
+	h.caches[1].Fill(block, cache.Shared)
+	err := h.checker.CheckBlock(block, 7)
+	if err == nil {
+		t.Fatal("no violation")
+	}
+	msg := err.Error()
+	for _, want := range []string{"coherence:", "swmr", "0x110", "cycle 7", "cpu0=M", "cpu1=S"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+}
+
+func TestCheckAllFindsDirectoryOnlyCorruption(t *testing.T) {
+	// A corrupted entry for a block no cache holds is invisible to
+	// touched-block checking from the caches' side; the sweep must still
+	// find it via the directory walk.
+	h := newHarness(t)
+	e := h.dir.Entry(memory.Addr(0x500))
+	e.State = directory.Shared // no sharers: structurally illegal
+	err := h.checker.CheckAll(9)
+	if err == nil {
+		t.Fatal("CheckAll missed a directory-only corruption")
+	}
+	v, ok := err.(*CoherenceViolation)
+	if !ok || v.Invariant != "home-state" {
+		t.Fatalf("got %v, want home-state violation", err)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Level
+	}{{"", Off}, {"off", Off}, {"touched", Touched}, {"full", Full}}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if c.in != "" && got.String() != c.in {
+			t.Errorf("Level(%v).String() = %q, want %q", got, got.String(), c.in)
+		}
+	}
+	if _, err := ParseLevel("paranoid"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}

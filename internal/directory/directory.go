@@ -193,6 +193,14 @@ func (d *Directory) Entry(block memory.Addr) *Entry {
 	return e
 }
 
+// Lookup returns the directory entry for the block containing addr if one
+// exists. Unlike Entry it never creates an entry, so invariant checkers
+// can probe the directory without perturbing it.
+func (d *Directory) Lookup(block memory.Addr) (*Entry, bool) {
+	e, ok := d.entries[d.layout.BlockIndex(block)]
+	return e, ok
+}
+
 // Len returns the number of blocks with directory state.
 func (d *Directory) Len() int { return len(d.entries) }
 

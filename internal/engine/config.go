@@ -20,6 +20,8 @@ import (
 	"fmt"
 
 	"lsnuma/internal/cache"
+	"lsnuma/internal/check"
+	"lsnuma/internal/fault"
 	"lsnuma/internal/network"
 	"lsnuma/internal/protocol"
 )
@@ -107,6 +109,24 @@ type Config struct {
 	// this model the write-stall savings of LS/AD largely vanish while
 	// their traffic savings remain — the paper's prediction.
 	RelaxedWrites bool
+	// CheckLevel runs the coherence invariant checker (internal/check)
+	// online: check.Touched validates every block an operation touches,
+	// before and after the transaction; check.Full adds a whole-machine
+	// sweep every CheckInterval operations and at the end of the run. A
+	// violation aborts the run with a *check.CoherenceViolation. The
+	// default check.Off costs one nil comparison per serviced operation.
+	CheckLevel check.Level
+	// CheckInterval is the full-sweep period in serviced operations under
+	// check.Full. Zero means the default (4096).
+	CheckInterval uint64
+	// FaultInjector, if non-nil, deterministically corrupts protocol state
+	// mid-run (internal/fault) to prove the online checker detects real
+	// corruption. Never set it for normal simulations.
+	FaultInjector *fault.Injector
+	// RecordOps keeps a ring buffer of the last RecordOps serviced
+	// operations for crash diagnostics (Machine.LastOps). Zero disables
+	// the ring.
+	RecordOps int
 }
 
 // Validate checks the machine configuration.

@@ -2,10 +2,13 @@ package engine
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"lsnuma/internal/cache"
+	"lsnuma/internal/check"
 	"lsnuma/internal/classify"
 	"lsnuma/internal/directory"
+	"lsnuma/internal/fault"
 	"lsnuma/internal/memory"
 	"lsnuma/internal/network"
 	"lsnuma/internal/stats"
@@ -69,6 +72,71 @@ type Machine struct {
 	runAheadOps uint64
 
 	recorder func(OpRecord)
+
+	// Robustness state (Config.CheckLevel / FaultInjector / RecordOps).
+	// hooks gates the whole per-operation robustness path with a single
+	// comparison, so a machine with everything off pays nothing. servicing
+	// is the operation currently inside Machine.service: on an abort its
+	// processor is parked in submit without an entry in any pending list,
+	// so the abort paths must wake it explicitly.
+	hooks      bool
+	checker    *check.Checker
+	checkEvery uint64
+	sinceSweep uint64
+	opCount    uint64 // serviced memory operations (any scheduler path)
+	faults     *fault.Injector
+	touched    []memory.Addr // blocks mutated by the current operation
+	ring       []OpTrace     // last-ops ring buffer (RecordOps)
+	ringPos    int
+	ringLen    int
+	servicing  *op
+}
+
+// OpTrace is one entry of the crash-diagnostics ring buffer
+// (Config.RecordOps): the operations serviced just before a failure.
+type OpTrace struct {
+	CPU  memory.NodeID
+	At   uint64 // issuing processor's clock at issue
+	Addr memory.Addr
+	Size uint32
+	Kind memory.Kind
+	RMW  bool
+}
+
+// PanicError is a panic — in a program or in the engine itself —
+// converted into a run error, with the goroutine stack captured at the
+// point of recovery.
+type PanicError struct {
+	CPU   memory.NodeID // issuing CPU, or memory.NoNode when unattributable
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	if e.CPU != memory.NoNode {
+		return fmt.Sprintf("engine: program on CPU %d panicked: %v", e.CPU, e.Value)
+	}
+	return fmt.Sprintf("engine: panicked: %v", e.Value)
+}
+
+// recoveredError converts a recovered panic into the run's error. A
+// CoherenceViolation raised by the online checker passes through
+// unchanged; anything else becomes a PanicError with the stack captured
+// here, on the goroutine that panicked.
+func recoveredError(cpu memory.NodeID, r any) error {
+	if v, ok := r.(*check.CoherenceViolation); ok {
+		return v
+	}
+	return &PanicError{CPU: cpu, Value: r, Stack: debug.Stack()}
+}
+
+// eventError extracts the run error from a program goroutine's failure
+// event (the goroutine's recover already converted the panic).
+func eventError(ev event) error {
+	if err, ok := ev.err.(error); ok {
+		return err
+	}
+	return fmt.Errorf("engine: program on CPU %d panicked: %v", ev.proc.id, ev.err)
 }
 
 // OpRecord describes one scheduled memory operation, for trace capture.
@@ -129,7 +197,29 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.TrackFalseSharing {
 		m.fs = classify.NewFalseSharing(layout, cfg.Nodes)
 	}
+	if cfg.CheckLevel > check.Off {
+		m.checker = check.New(layout, m.dir, m.hierarchies())
+		m.checkEvery = cfg.CheckInterval
+		if m.checkEvery == 0 {
+			m.checkEvery = 4096
+		}
+		m.touched = make([]memory.Addr, 0, 8)
+	}
+	m.faults = cfg.FaultInjector
+	if cfg.RecordOps > 0 {
+		m.ring = make([]OpTrace, cfg.RecordOps)
+	}
+	m.hooks = m.checker != nil || m.faults != nil || m.ring != nil
 	return m, nil
+}
+
+// hierarchies returns the per-node cache hierarchies indexed by node ID.
+func (m *Machine) hierarchies() []*cache.Hierarchy {
+	hs := make([]*cache.Hierarchy, len(m.nodes))
+	for i, n := range m.nodes {
+		hs[i] = n.caches
+	}
+	return hs
 }
 
 // Layout returns the machine's address-space layout.
@@ -166,6 +256,23 @@ func (m *Machine) SetRecorder(fn func(OpRecord)) { m.recorder = fn }
 // RunAheadOps returns the number of operations serviced inline under a
 // run-ahead lease (zero under Config.SerialSchedule or a recorder).
 func (m *Machine) RunAheadOps() uint64 { return m.runAheadOps }
+
+// LastOps returns the crash-diagnostics ring (Config.RecordOps) in
+// chronological order: the last operations serviced before Run returned.
+func (m *Machine) LastOps() []OpTrace {
+	if m.ringLen == 0 {
+		return nil
+	}
+	out := make([]OpTrace, 0, m.ringLen)
+	start := m.ringPos - m.ringLen
+	if start < 0 {
+		start += len(m.ring)
+	}
+	for i := 0; i < m.ringLen; i++ {
+		out = append(out, m.ring[(start+i)%len(m.ring)])
+	}
+	return out
+}
 
 // Run executes one program per processor to completion and finalizes the
 // statistics. The i-th program runs on node i; if fewer programs than
@@ -209,9 +316,9 @@ func (m *Machine) Run(programs []Program) error {
 						m.events <- event{proc: p, err: r}
 					}
 				case p.active:
-					m.abortConch(p, fmt.Errorf("engine: program on CPU %d panicked: %v", p.id, r))
+					m.abortConch(p, recoveredError(p.id, r))
 				default:
-					m.events <- event{proc: p, err: r}
+					m.events <- event{proc: p, err: recoveredError(p.id, r)}
 				}
 			}()
 			prog(p)
@@ -226,8 +333,11 @@ func (m *Machine) Run(programs []Program) error {
 // service executes one scheduled operation: the recorder hook (if any),
 // the detailed memory-system model, and the issuing processor's
 // completion bookkeeping. Shared by both schedulers and identical in
-// effect to the inline run-ahead path of Proc.runInline.
+// effect to the inline run-ahead path of Proc.runInline. While the
+// operation is in flight it is registered in m.servicing so the abort
+// paths can wake its (parked, list-less) processor if anything panics.
 func (m *Machine) service(next *op) {
+	m.servicing = next
 	if m.recorder != nil {
 		gap := uint32(0)
 		if next.at > next.proc.lastDone {
@@ -239,8 +349,91 @@ func (m *Machine) service(next *op) {
 			Compute: gap,
 		})
 	}
+	if m.checker != nil {
+		m.precheckOp(next)
+	}
 	m.execute(next)
 	next.proc.lastDone = next.proc.clock
+	if m.hooks {
+		m.afterOp(next)
+	}
+	m.servicing = nil
+}
+
+// precheckOp validates every block the operation is about to touch, so a
+// corruption is reported as a structured CoherenceViolation before the
+// memory system trips over it with a bare panic.
+func (m *Machine) precheckOp(o *op) {
+	first := m.layout.Block(o.addr)
+	last := first
+	if o.size > 0 {
+		last = m.layout.Block(o.addr + memory.Addr(o.size) - 1)
+	}
+	for b := first; ; b += memory.Addr(m.layout.BlockSize) {
+		if err := m.checker.CheckBlock(b, o.at); err != nil {
+			panic(err)
+		}
+		if b >= last {
+			break
+		}
+	}
+}
+
+// afterOp runs the per-operation robustness hooks once an operation has
+// been fully serviced: the crash-diagnostics ring, the touched-block
+// invariant checks, fault injection, and the periodic full sweep. Checker
+// failures panic with a *CoherenceViolation and flow through the normal
+// abort machinery.
+func (m *Machine) afterOp(o *op) {
+	m.opCount++
+	if m.ring != nil {
+		m.ring[m.ringPos] = OpTrace{
+			CPU: o.proc.id, At: o.at, Addr: o.addr, Size: o.size,
+			Kind: o.kind, RMW: o.rmw,
+		}
+		m.ringPos++
+		if m.ringPos == len(m.ring) {
+			m.ringPos = 0
+		}
+		if m.ringLen < len(m.ring) {
+			m.ringLen++
+		}
+	}
+	if m.checker != nil {
+		for _, b := range m.touched {
+			if err := m.checker.CheckBlock(b, o.proc.clock); err != nil {
+				m.touched = m.touched[:0]
+				panic(err)
+			}
+		}
+		m.touched = m.touched[:0]
+	}
+	if m.faults != nil {
+		m.faults.Tick(m, m.opCount, o.proc.clock)
+	}
+	if m.checker != nil && m.cfg.CheckLevel >= check.Full {
+		m.sinceSweep++
+		if m.sinceSweep >= m.checkEvery {
+			m.sinceSweep = 0
+			if err := m.checker.CheckAll(o.proc.clock); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// finalCheck is the end-of-run whole-machine sweep under check.Full.
+func (m *Machine) finalCheck() error {
+	if m.checker == nil || m.cfg.CheckLevel < check.Full {
+		return nil
+	}
+	var t uint64
+	for _, p := range m.procs {
+		if p.clock > t {
+			t = p.clock
+		}
+	}
+	return m.checker.CheckAll(t)
 }
 
 // schedule is the default run-ahead handoff scheduler. Service order is
@@ -259,10 +452,27 @@ func (m *Machine) service(next *op) {
 // heap traffic at all (Proc.runInline). Every step services the same op
 // the serial scheduler would pick, so simulated cycle counts are
 // bit-identical. Run waits on m.done for completion or error.
-func (m *Machine) schedule() error {
+//
+// The first scheduler step below runs on this (the Run) goroutine, so a
+// panic while servicing it — a checker violation or an engine bug — is
+// recovered here: the in-flight operation is re-parked and every program
+// goroutine drained, keeping the error paths leak-free.
+func (m *Machine) schedule() (err error) {
 	running := len(m.procs)
 	m.live = len(m.procs)
 	m.h.a = make([]*op, 0, len(m.procs))
+	defer func() {
+		if r := recover(); r != nil {
+			cpu := memory.NoNode
+			if o := m.servicing; o != nil {
+				cpu = o.proc.id
+				m.servicing = nil
+				m.h.push(o)
+			}
+			m.drain(m.live, m.h.a)
+			err = recoveredError(cpu, r)
+		}
+	}()
 
 	// Collect every processor's first operation (programs run their
 	// prologues concurrently, exactly as under the serial scheduler).
@@ -271,7 +481,7 @@ func (m *Machine) schedule() error {
 		running--
 		if ev.err != nil {
 			m.drain(m.live-1, m.h.a)
-			return fmt.Errorf("engine: program on CPU %d panicked: %v", ev.proc.id, ev.err)
+			return eventError(ev)
 		}
 		if ev.op == nil {
 			m.live--
@@ -283,7 +493,7 @@ func (m *Machine) schedule() error {
 		if m.fs != nil {
 			m.fs.Finalize()
 		}
-		return nil
+		return m.finalCheck()
 	}
 
 	// First step: service the winner and hand it the conch.
@@ -320,7 +530,7 @@ func (m *Machine) finish(p *Proc) {
 		if m.fs != nil {
 			m.fs.Finalize()
 		}
-		m.done <- nil
+		m.done <- m.finalCheck()
 		return
 	}
 	next := m.h.pop()
@@ -344,6 +554,16 @@ func (m *Machine) finish(p *Proc) {
 // the handoff scheduler's error paths.
 func (m *Machine) abortConch(self *Proc, err error) {
 	m.aborted = true
+	// An operation that was mid-service when the abort began has a parked
+	// processor with no entry in the heap (submit popped it); wake it
+	// first, unless it is the aborting goroutine's own operation.
+	if o := m.servicing; o != nil {
+		m.servicing = nil
+		if o.proc != self {
+			o.proc.resume <- struct{}{}
+			<-m.events
+		}
+	}
 	for {
 		o := m.h.pop()
 		if o == nil {
@@ -364,10 +584,25 @@ func (m *Machine) abortConch(self *Proc, err error) {
 // reference implementation the run-ahead scheduler must match bit for
 // bit, kept alive behind Config.SerialSchedule for differential testing,
 // and the path used when a recorder is installed.
-func (m *Machine) scheduleSerial() error {
+func (m *Machine) scheduleSerial() (err error) {
 	running := len(m.procs)
 	pending := make([]*op, m.cfg.Nodes) // indexed by CPU id
 	live := len(m.procs)
+	// Every service below runs on this (the Run) goroutine; recover
+	// panics — checker violations, engine bugs — by re-parking the
+	// in-flight operation and draining the program goroutines.
+	defer func() {
+		if r := recover(); r != nil {
+			cpu := memory.NoNode
+			if o := m.servicing; o != nil {
+				cpu = o.proc.id
+				m.servicing = nil
+				pending[o.proc.id] = o
+			}
+			m.drain(live, pending)
+			err = recoveredError(cpu, r)
+		}
+	}()
 
 	for {
 		for running > 0 {
@@ -375,7 +610,7 @@ func (m *Machine) scheduleSerial() error {
 			running--
 			if ev.err != nil {
 				m.drain(live-1, pending)
-				return fmt.Errorf("engine: program on CPU %d panicked: %v", ev.proc.id, ev.err)
+				return eventError(ev)
 			}
 			if ev.op == nil {
 				live--
@@ -412,7 +647,7 @@ func (m *Machine) scheduleSerial() error {
 	if m.fs != nil {
 		m.fs.Finalize()
 	}
-	return nil
+	return m.finalCheck()
 }
 
 // drain terminates every remaining program goroutine after a scheduler
@@ -440,56 +675,16 @@ func (m *Machine) drain(alive int, parked []*op) {
 	}
 }
 
-// CheckCoherence validates the global single-writer/multiple-reader
-// invariant between the directory and all caches: it returns an error if
-// any block is held Modified/LStemp by one cache while any other cache
-// holds it, or if directory presence information disagrees with the
-// caches. Intended for tests after (or during) a run.
+// CheckCoherence validates the machine-wide coherence invariants — SWMR,
+// directory exactness, home-state legality, no ghost holders, inclusion —
+// through the shared internal/check package, the same code the engine
+// runs online under Config.CheckLevel, so the model-check tests and the
+// online checker cannot drift apart. Intended for tests after (or during)
+// a run; failures are *check.CoherenceViolation values.
 func (m *Machine) CheckCoherence() error {
-	type holder struct {
-		node  memory.NodeID
-		state cache.State
+	c := m.checker
+	if c == nil {
+		c = check.New(m.layout, m.dir, m.hierarchies())
 	}
-	held := make(map[memory.Addr][]holder)
-	for i, n := range m.nodes {
-		for _, ln := range n.caches.L2().Resident() {
-			held[ln.Block] = append(held[ln.Block], holder{memory.NodeID(i), ln.State})
-		}
-	}
-	for block, hs := range held {
-		excl := 0
-		for _, h := range hs {
-			if h.state.Exclusive() {
-				excl++
-			}
-		}
-		if excl > 0 && len(hs) > 1 {
-			return fmt.Errorf("coherence: block %#x held exclusively with %d total copies", block, len(hs))
-		}
-		e := m.dir.Entry(block)
-		for _, h := range hs {
-			if !e.Holds(h.node) {
-				return fmt.Errorf("coherence: block %#x cached at node %d but directory (%v) disagrees",
-					block, h.node, e.State)
-			}
-		}
-	}
-	// Directory must not claim holders that do not exist.
-	var dirErr error
-	m.dir.ForEach(func(idx uint64, e *directory.Entry) {
-		if dirErr != nil {
-			return
-		}
-		if err := e.CheckInvariant(); err != nil {
-			dirErr = fmt.Errorf("block index %#x: %w", idx, err)
-			return
-		}
-		block := memory.Addr(idx * m.layout.BlockSize)
-		e.Holders().ForEach(func(n memory.NodeID) {
-			if m.nodes[n].caches.State(block) == cache.Invalid && dirErr == nil {
-				dirErr = fmt.Errorf("coherence: directory says node %d holds block %#x but cache is invalid", n, block)
-			}
-		})
-	})
-	return dirErr
+	return c.CheckAll(0)
 }

@@ -52,6 +52,11 @@ func (m *Machine) accessBlock(p *Proc, addr memory.Addr, size uint32, kind memor
 	block := m.layout.Block(addr)
 	nd := m.nodes[p.id]
 	cpu := &m.st.CPUs[p.id]
+	if m.checker != nil {
+		// Queue the block for the post-operation invariant check; fill
+		// adds replacement victims the same way.
+		m.touched = append(m.touched, block)
+	}
 	if kind == memory.Load {
 		cpu.Loads++
 	} else {
@@ -389,7 +394,13 @@ func (m *Machine) invalidateSharers(e *directory.Entry, block memory.Addr, keep,
 		m.st.Invalidations++
 		ti := m.net.Send(H, s, stats.MsgInval, t)
 		ti = m.ctrl(s, ti, m.cfg.Timing.CtrlTime)
-		m.loseCopy(s, block, true)
+		if m.faults == nil || !m.faults.DropInvalidation(s, block, m.opCount, t) {
+			m.loseCopy(s, block, true)
+		}
+		// When the injector drops the invalidation the victim keeps its
+		// stale copy while the home forgets it — the lost-message bug the
+		// online checker must catch. The ack still "arrives": the home
+		// believes the invalidation succeeded.
 		ta := m.net.Send(s, H, stats.MsgInvalAck, ti)
 		if ta > ackT {
 			ackT = ta
@@ -416,6 +427,9 @@ func (m *Machine) fill(p *Proc, block memory.Addr, s cache.State, t uint64) {
 	v, evicted := m.nodes[p.id].caches.Fill(block, s)
 	if !evicted {
 		return
+	}
+	if m.checker != nil {
+		m.touched = append(m.touched, v.Block)
 	}
 	vHome := m.layout.Home(v.Block)
 	ve := m.dir.Entry(v.Block)

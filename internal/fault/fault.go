@@ -1,0 +1,306 @@
+// Package fault deterministically corrupts the protocol state of a
+// running simulation. Its only purpose is to prove that the online
+// invariant checker (internal/check) is load-bearing: every fault class
+// models a realistic protocol bug — a lost message, a stale directory
+// field, a leaked tag — and the mutation-coverage test asserts the checker
+// detects each one within a bounded number of operations.
+//
+// Injection is fully deterministic: an Injector is armed with a fault
+// class, an operation index, and a seed. The engine calls Tick after every
+// serviced memory operation; once the index is reached the injector picks
+// its corruption target by walking the directory in block order and
+// drawing from the seeded generator, fires exactly once, and records a
+// Report of what it broke.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lsnuma/internal/cache"
+	"lsnuma/internal/directory"
+	"lsnuma/internal/memory"
+)
+
+// Class enumerates the injectable fault classes, spanning directory
+// state, cache state, protocol messaging, and the LS tag machinery.
+type Class uint8
+
+const (
+	// FlipPresence flips one presence bit of a Shared directory entry:
+	// either the directory forgets a real sharer (a ghostless stale copy)
+	// or invents one (a ghost holder).
+	FlipPresence Class = iota
+	// ForgeOwner redirects the owner field of a Dirty or Load-Store entry
+	// to another node, as if an ownership transfer message had been
+	// misrouted.
+	ForgeOwner
+	// DropInvalidation silently drops one invalidation message in transit:
+	// the home removes the sharer from its presence bits, but the victim
+	// cache keeps its copy — the classic lost-message bug.
+	DropInvalidation
+	// CorruptHomeState breaks the structural legality of one directory
+	// entry (an owner-less Dirty entry, a Shared entry with no sharers),
+	// as a wild write into directory memory would.
+	CorruptHomeState
+	// SilentDowngrade demotes an owner's exclusive cache copy to Shared
+	// without telling the home, leaving the directory claiming an
+	// exclusive holder that no longer exists.
+	SilentDowngrade
+	// LeakLSTag forges an LStemp (exclusive-on-read) grant in a cache that
+	// only holds the block Shared: the LS protocol's saved ownership
+	// acquisition applied to a block whose home never granted it.
+	LeakLSTag
+
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	FlipPresence:     "flip-presence",
+	ForgeOwner:       "forge-owner",
+	DropInvalidation: "drop-inval",
+	CorruptHomeState: "corrupt-home",
+	SilentDowngrade:  "silent-downgrade",
+	LeakLSTag:        "leak-ls-tag",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Classes returns all fault classes.
+func Classes() []Class {
+	out := make([]Class, numClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// ParseClass converts a class name to a Class.
+func ParseClass(s string) (Class, error) {
+	for i, n := range classNames {
+		if s == n {
+			return Class(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown class %q (want %s)", s, strings.Join(classNames[:], ", "))
+}
+
+// Target is the view of the machine an injector corrupts. It is
+// implemented by *engine.Machine.
+type Target interface {
+	Nodes() int
+	Layout() memory.Layout
+	Directory() *directory.Directory
+	Hierarchy(n memory.NodeID) *cache.Hierarchy
+}
+
+// Report records what a fired injector actually broke.
+type Report struct {
+	Class   Class
+	Fired   bool
+	OpIndex uint64      // serviced-operation index at injection
+	Cycle   uint64      // issuing processor's clock at injection
+	Block   memory.Addr // corrupted block
+	Node    memory.NodeID
+	Detail  string
+}
+
+// Injector corrupts one piece of protocol state, once, deterministically.
+type Injector struct {
+	class   Class
+	afterOp uint64
+	rng     *rand.Rand
+	report  Report
+}
+
+// New returns an injector that fires its fault class at the first
+// opportunity at or after serviced operation afterOp, with target
+// selection driven by seed.
+func New(class Class, afterOp uint64, seed int64) *Injector {
+	return &Injector{class: class, afterOp: afterOp, rng: rand.New(rand.NewSource(seed)),
+		report: Report{Class: class}}
+}
+
+// Class returns the injector's fault class.
+func (inj *Injector) Class() Class { return inj.class }
+
+// Fired reports whether the fault has been injected.
+func (inj *Injector) Fired() bool { return inj.report.Fired }
+
+// Report returns what was injected (Fired false if nothing yet).
+func (inj *Injector) Report() Report { return inj.report }
+
+// ParseSpec parses a fault specification of the form
+// "class[@afterOp][:seed]", e.g. "forge-owner@500:7". afterOp defaults to
+// 0 (fire at the first opportunity) and seed to 1.
+func ParseSpec(spec string) (*Injector, error) {
+	rest := spec
+	seed := int64(1)
+	if i := strings.LastIndexByte(rest, ':'); i >= 0 {
+		v, err := strconv.ParseInt(rest[i+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad seed in spec %q: %v", spec, err)
+		}
+		seed, rest = v, rest[:i]
+	}
+	afterOp := uint64(0)
+	if i := strings.IndexByte(rest, '@'); i >= 0 {
+		v, err := strconv.ParseUint(rest[i+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad op index in spec %q: %v", spec, err)
+		}
+		afterOp, rest = v, rest[:i]
+	}
+	class, err := ParseClass(rest)
+	if err != nil {
+		return nil, err
+	}
+	return New(class, afterOp, seed), nil
+}
+
+// candidate is one corruptible block, keyed by its dense block index so
+// selection is deterministic despite map-ordered directory iteration.
+type candidate struct {
+	idx   uint64
+	entry *directory.Entry
+}
+
+// candidates collects, in block order, every directory entry the class
+// can corrupt right now.
+func (inj *Injector) candidates(t Target, suitable func(*directory.Entry) bool) []candidate {
+	var cs []candidate
+	t.Directory().ForEach(func(idx uint64, e *directory.Entry) {
+		if suitable(e) {
+			cs = append(cs, candidate{idx, e})
+		}
+	})
+	sort.Slice(cs, func(i, j int) bool { return cs[i].idx < cs[j].idx })
+	return cs
+}
+
+// fire records the injection.
+func (inj *Injector) fire(opIndex, cycle uint64, block memory.Addr, n memory.NodeID, format string, args ...any) {
+	inj.report = Report{
+		Class: inj.class, Fired: true,
+		OpIndex: opIndex, Cycle: cycle, Block: block, Node: n,
+		Detail: fmt.Sprintf(format, args...),
+	}
+}
+
+// Tick gives the injector a chance to fire. The engine calls it after
+// every serviced memory operation; the injector is inert until the armed
+// operation index, fires at the first operation with a suitable corruption
+// target, and is inert again afterwards. DropInvalidation does not fire
+// from Tick — it waits for an invalidation to drop (DropInvalidation
+// method).
+func (inj *Injector) Tick(t Target, opIndex, cycle uint64) {
+	if inj.report.Fired || opIndex < inj.afterOp || inj.class == DropInvalidation {
+		return
+	}
+	blockOf := func(c candidate) memory.Addr {
+		return memory.Addr(c.idx * t.Layout().BlockSize)
+	}
+	switch inj.class {
+	case FlipPresence:
+		cs := inj.candidates(t, func(e *directory.Entry) bool { return e.State == directory.Shared })
+		if len(cs) == 0 {
+			return
+		}
+		c := cs[inj.rng.Intn(len(cs))]
+		n := memory.NodeID(inj.rng.Intn(t.Nodes()))
+		if c.entry.Sharers.Has(n) {
+			c.entry.Sharers.Remove(n)
+			inj.fire(opIndex, cycle, blockOf(c), n, "cleared presence bit of sharer %d", n)
+		} else {
+			c.entry.Sharers.Add(n)
+			inj.fire(opIndex, cycle, blockOf(c), n, "set presence bit of non-sharer %d", n)
+		}
+	case ForgeOwner:
+		if t.Nodes() < 2 {
+			return
+		}
+		cs := inj.candidates(t, func(e *directory.Entry) bool {
+			return e.State == directory.Dirty || e.State == directory.Excl
+		})
+		if len(cs) == 0 {
+			return
+		}
+		c := cs[inj.rng.Intn(len(cs))]
+		old := c.entry.Owner
+		c.entry.Owner = memory.NodeID((int(old) + 1 + inj.rng.Intn(t.Nodes()-1)) % t.Nodes())
+		inj.fire(opIndex, cycle, blockOf(c), c.entry.Owner,
+			"forged owner %d (real owner %d)", c.entry.Owner, old)
+	case CorruptHomeState:
+		cs := inj.candidates(t, func(e *directory.Entry) bool { return e.State != directory.Uncached })
+		if len(cs) == 0 {
+			return
+		}
+		c := cs[inj.rng.Intn(len(cs))]
+		switch c.entry.State {
+		case directory.Shared:
+			c.entry.Sharers = 0
+			inj.fire(opIndex, cycle, blockOf(c), memory.NoNode, "cleared all sharers of a Shared entry")
+		default: // Dirty, Excl
+			old := c.entry.Owner
+			c.entry.Owner = memory.NoNode
+			inj.fire(opIndex, cycle, blockOf(c), old, "erased owner %d of a %v entry", old, c.entry.State)
+		}
+	case SilentDowngrade:
+		cs := inj.candidates(t, func(e *directory.Entry) bool {
+			return (e.State == directory.Dirty || e.State == directory.Excl) &&
+				e.Owner != memory.NoNode
+		})
+		for len(cs) > 0 {
+			i := inj.rng.Intn(len(cs))
+			c := cs[i]
+			block := blockOf(c)
+			h := t.Hierarchy(c.entry.Owner)
+			if h.State(block).Exclusive() && h.ForceState(block, cache.Shared) {
+				inj.fire(opIndex, cycle, block, c.entry.Owner,
+					"downgraded owner %d's exclusive copy to Shared behind the home's back", c.entry.Owner)
+				return
+			}
+			cs = append(cs[:i], cs[i+1:]...)
+		}
+	case LeakLSTag:
+		cs := inj.candidates(t, func(e *directory.Entry) bool {
+			return e.State == directory.Shared && !e.Sharers.Empty()
+		})
+		for len(cs) > 0 {
+			i := inj.rng.Intn(len(cs))
+			c := cs[i]
+			block := blockOf(c)
+			var leaked memory.NodeID = memory.NoNode
+			c.entry.Sharers.ForEach(func(n memory.NodeID) {
+				if leaked == memory.NoNode && t.Hierarchy(n).State(block) == cache.Shared {
+					leaked = n
+				}
+			})
+			if leaked != memory.NoNode && t.Hierarchy(leaked).ForceState(block, cache.LStemp) {
+				inj.fire(opIndex, cycle, block, leaked,
+					"forged an LStemp grant in sharer %d's cache (leaked LS tag)", leaked)
+				return
+			}
+			cs = append(cs[:i], cs[i+1:]...)
+		}
+	}
+}
+
+// DropInvalidation reports whether the invalidation being sent to node n
+// for block should be lost in transit. Only the DropInvalidation class
+// ever returns true, at most once, at or after the armed operation index.
+func (inj *Injector) DropInvalidation(n memory.NodeID, block memory.Addr, opIndex, cycle uint64) bool {
+	if inj.class != DropInvalidation || inj.report.Fired || opIndex < inj.afterOp {
+		return false
+	}
+	inj.fire(opIndex, cycle, block, n, "dropped invalidation to sharer %d", n)
+	return true
+}

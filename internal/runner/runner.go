@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -34,6 +35,16 @@ func (e *JobError) Error() string { return fmt.Sprintf("job %d: %v", e.Index, e.
 
 // Unwrap exposes the underlying error to errors.Is/As.
 func (e *JobError) Unwrap() error { return e.Err }
+
+// PanicError is a job panic converted into an error, with the stack
+// captured on the panicking goroutine. Callers retrieve it (and the
+// stack) with errors.As for crash diagnostics.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
 
 // Run executes jobs 0..n-1 on at most `parallelism` concurrent workers
 // (<= 0 selects runtime.GOMAXPROCS(0)) and returns the per-job errors at
@@ -85,12 +96,13 @@ func Run(ctx context.Context, n, parallelism int, job func(ctx context.Context, 
 	return errs, errors.Join(failed...)
 }
 
-// safeRun invokes one job, converting a panic into an error so a bug in
-// one simulation point cannot take down the whole sweep.
+// safeRun invokes one job, converting a panic into a *PanicError — stack
+// included — so a bug in one simulation point cannot take down the whole
+// sweep and still leaves enough to debug it.
 func safeRun(ctx context.Context, i int, job func(ctx context.Context, i int) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
+			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
 	return job(ctx, i)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -81,6 +82,36 @@ func TestPanicIsolation(t *testing.T) {
 	if errs[1] == nil {
 		t.Error("panicking job reported no error")
 	}
+}
+
+// TestPanicStackCapture: a panicking job's error is a *PanicError that
+// carries the panic value and the goroutine stack of the panic site, so
+// sweep diagnostics can point at the faulty frame instead of just saying
+// "panic".
+func TestPanicStackCapture(t *testing.T) {
+	errs, _ := Run(context.Background(), 1, 1, func(_ context.Context, i int) error {
+		panicForStackCapture()
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(errs[0], &pe) {
+		t.Fatalf("job error = %v (%T), want *PanicError", errs[0], errs[0])
+	}
+	if pe.Value != "simulated engine bug" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(errs[0].Error(), "panic: simulated engine bug") {
+		t.Errorf("error text %q lost the panic value", errs[0].Error())
+	}
+	if !strings.Contains(string(pe.Stack), "panicForStackCapture") {
+		t.Errorf("captured stack does not contain the panic site:\n%s", pe.Stack)
+	}
+}
+
+// panicForStackCapture panics from a named function so the test can
+// assert the frame appears in the captured stack.
+func panicForStackCapture() {
+	panic("simulated engine bug")
 }
 
 // TestCancellationMidSweep: once the context is cancelled, unstarted jobs

@@ -27,30 +27,46 @@ func Workloads() []string { return registry.Names() }
 // Run simulates the named workload at the given scale under cfg and
 // returns the full measurement set.
 func Run(cfg Config, workloadName string, scale Scale) (*Result, error) {
+	res, _, err := runNamed(cfg, workloadName, scale)
+	return res, err
+}
+
+// runNamed is Run returning the underlying machine as well, so failure
+// paths (RunAll's retry escalation) can read crash diagnostics — the
+// last-ops ring — off the dead machine. The machine is nil when the
+// failure precedes machine construction.
+func runNamed(cfg Config, workloadName string, scale Scale) (*Result, *engine.Machine, error) {
 	w, err := registry.New(workloadName, scale, cfg.Nodes)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return RunWorkload(cfg, w, scale.String())
+	return runMachine(cfg, w, scale.String())
 }
 
 // RunWorkload simulates an arbitrary workload (including user-defined
 // ones implementing the workload interface via RunPrograms).
 func RunWorkload(cfg Config, w workload.Workload, scaleName string) (*Result, error) {
+	res, _, err := runMachine(cfg, w, scaleName)
+	return res, err
+}
+
+// runMachine builds, runs and measures one simulation point, returning
+// the machine even when the run fails (for diagnostics).
+func runMachine(cfg Config, w workload.Workload, scaleName string) (*Result, *engine.Machine, error) {
 	ec, err := cfg.engineConfig()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m, err := engine.NewMachine(ec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	progs, err := w.Programs(m)
 	if err != nil {
-		return nil, err
+		return nil, m, err
 	}
 	if err := m.Run(progs); err != nil {
-		return nil, fmt.Errorf("lsnuma: %s on %s: %w", w.Name(), cfg.ProtocolName(), err)
+		return nil, m, fmt.Errorf("lsnuma: %s on %s: %w", w.Name(), cfg.ProtocolName(), err)
 	}
 	res := &Result{
 		Workload: w.Name(),
@@ -59,7 +75,7 @@ func RunWorkload(cfg Config, w workload.Workload, scaleName string) (*Result, er
 		Nodes:    cfg.Nodes,
 	}
 	fillResult(res, m.Stats(), m.Sequences(), m.FalseSharing())
-	return res, nil
+	return res, m, nil
 }
 
 // BuildPrograms is the signature for user-defined workloads run through

@@ -2,7 +2,10 @@ package lsnuma
 
 import (
 	"context"
+	"errors"
+	"fmt"
 
+	"lsnuma/internal/engine"
 	"lsnuma/internal/runner"
 )
 
@@ -17,11 +20,52 @@ type Point struct {
 }
 
 // PointResult pairs a Point with its outcome: exactly one of Result and
-// Err is non-nil.
+// Err is non-nil. A failed point additionally carries a Repro bundle.
 type PointResult struct {
 	Point
 	Result *Result
 	Err    error
+	// Repro is the diagnostic bundle of a failed point (nil on success).
+	Repro *ReproBundle
+}
+
+// OpTrace is one memory operation from a failed run's crash-diagnostics
+// ring buffer (Config.RecordOps).
+type OpTrace struct {
+	CPU  int    // issuing processor
+	At   uint64 // processor clock at issue
+	Addr uint64
+	Size uint32
+	Kind string // "load" or "store"
+	RMW  bool
+}
+
+func (o OpTrace) String() string {
+	rmw := ""
+	if o.RMW {
+		rmw = " (rmw)"
+	}
+	return fmt.Sprintf("cpu%d@%d %s %#x+%d%s", o.CPU, o.At, o.Kind, o.Addr, o.Size, rmw)
+}
+
+// ReproBundle is the diagnostic bundle RunAll captures for a failed
+// point: everything needed to reproduce and localize the failure offline.
+type ReproBundle struct {
+	// Config, Workload and Scale reproduce the failing simulation.
+	Config   Config
+	Workload string
+	Scale    Scale
+	// Stack is the panic stack trace when the failure was a panic
+	// (empty for clean errors such as coherence violations).
+	Stack string
+	// Retry records the outcome of the automatic retry with the online
+	// invariant checker enabled (empty when no retry ran — e.g. the
+	// original run already had checking on, or RunOptions.NoRetry).
+	Retry string
+	// LastOps is the tail of the retry run's operation ring: the memory
+	// operations serviced just before the failure (empty when the retry
+	// succeeded, did not run, or died before servicing anything).
+	LastOps []OpTrace
 }
 
 // RunOptions controls the parallel execution of a point set.
@@ -29,6 +73,53 @@ type RunOptions struct {
 	// Parallelism bounds the number of simulations running at once;
 	// <= 0 selects runtime.GOMAXPROCS(0) (all cores).
 	Parallelism int
+	// NoRetry disables the retry-once-with-checks-on escalation for
+	// failed points (the retry doubles the cost of a failing cell; bench
+	// harnesses and differential tests want the raw failure).
+	NoRetry bool
+}
+
+// reproRingSize is the operation-ring length used by the automatic
+// checks-on retry of a failed point.
+const reproRingSize = 32
+
+// runPointDiag runs one point; on failure it builds the repro bundle and
+// — unless disabled — retries once with the online invariant checker
+// enabled, so a cryptic panic gets a second chance to be localized as a
+// structured coherence violation with an operation trail.
+func runPointDiag(pt Point, noRetry bool) (*Result, *ReproBundle, error) {
+	res, _, err := runNamed(pt.Config, pt.Workload, pt.Scale)
+	if err == nil {
+		return res, nil, nil
+	}
+	bundle := &ReproBundle{Config: pt.Config, Workload: pt.Workload, Scale: pt.Scale}
+	var ep *engine.PanicError
+	if errors.As(err, &ep) {
+		bundle.Stack = string(ep.Stack)
+	}
+	if noRetry || (pt.Config.Check != "" && pt.Config.Check != CheckOff) {
+		return nil, bundle, err
+	}
+	rcfg := pt.Config
+	rcfg.Check = CheckTouched
+	if rcfg.RecordOps == 0 {
+		rcfg.RecordOps = reproRingSize
+	}
+	_, m, rerr := runNamed(rcfg, pt.Workload, pt.Scale)
+	if rerr == nil {
+		bundle.Retry = "checks-on retry succeeded: the failure did not reproduce under CheckTouched"
+		return nil, bundle, err
+	}
+	bundle.Retry = "checks-on retry failed: " + rerr.Error()
+	if m != nil {
+		for _, o := range m.LastOps() {
+			bundle.LastOps = append(bundle.LastOps, OpTrace{
+				CPU: int(o.CPU), At: o.At, Addr: uint64(o.Addr),
+				Size: o.Size, Kind: o.Kind.String(), RMW: o.RMW,
+			})
+		}
+	}
+	return nil, bundle, err
 }
 
 // RunAll executes the points concurrently on a bounded worker pool and
@@ -39,27 +130,45 @@ type RunOptions struct {
 // One failed point does not abort the sweep: all points run, failures
 // are recorded per point, and the returned error aggregates them
 // (errors.Join of *runner.JobError; nil when everything succeeded).
-// Cancelling ctx skips points that have not started and records ctx's
-// error for them; points already running complete normally.
+// A failed point also carries a ReproBundle — config, panic stack, and
+// (after the automatic retry-once-with-checks-on escalation, see
+// RunOptions.NoRetry) the checker's diagnosis plus the last operations
+// serviced before the failure. Cancelling ctx skips points that have not
+// started and records ctx's error for them; points already running
+// complete normally.
 func RunAll(ctx context.Context, points []Point, opt RunOptions) ([]PointResult, error) {
 	out := make([]PointResult, len(points))
 	for i := range points {
 		out[i].Point = points[i]
 	}
-	_, err := runner.Run(ctx, len(points), opt.Parallelism, func(ctx context.Context, i int) error {
-		res, err := Run(points[i].Config, points[i].Workload, points[i].Scale)
+	errs, err := runner.Run(ctx, len(points), opt.Parallelism, func(ctx context.Context, i int) error {
+		res, bundle, err := runPointDiag(points[i], opt.NoRetry)
 		if err != nil {
 			out[i].Err = err
+			out[i].Repro = bundle
 			return err
 		}
 		out[i].Result = res
 		return nil
 	})
 	if err != nil {
-		// Points skipped by cancellation carry the context error.
+		// Points skipped by cancellation carry the context error; a panic
+		// that escaped the job glue itself (outside the engine's own
+		// recovery) is surfaced with the runner's captured stack.
 		for i := range out {
-			if out[i].Result == nil && out[i].Err == nil {
+			if out[i].Result != nil || out[i].Err != nil {
+				continue
+			}
+			out[i].Err = errs[i]
+			if out[i].Err == nil {
 				out[i].Err = ctx.Err()
+			}
+			var pe *runner.PanicError
+			if errors.As(errs[i], &pe) {
+				out[i].Repro = &ReproBundle{
+					Config: points[i].Config, Workload: points[i].Workload,
+					Scale: points[i].Scale, Stack: string(pe.Stack),
+				}
 			}
 		}
 	}

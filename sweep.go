@@ -83,11 +83,18 @@ func SweepGrid(param SweepParam, base Config) ([]SweepPoint, error) {
 	return points, nil
 }
 
-// SweepResult is one grid point's protocol comparison.
+// SweepResult is one grid point's protocol comparison. A failed cell
+// leaves a nil entry in Results and records its error (and diagnostic
+// bundle) under the same protocol key — an annotated hole rather than a
+// dead sweep.
 type SweepResult struct {
 	Label   string
 	Config  Config
 	Results map[Protocol]*Result
+	// Errs holds the failure of each failed cell (no key for successes).
+	Errs map[Protocol]error
+	// Repros holds the diagnostic bundles of failed cells.
+	Repros map[Protocol]*ReproBundle
 }
 
 // Sweep runs the Table 1 grid along param for the workload under every
@@ -119,7 +126,16 @@ func Sweep(ctx context.Context, base Config, param SweepParam, workloadName stri
 	for i, g := range grid {
 		out[i] = SweepResult{Label: g.Label, Config: g.Config, Results: make(map[Protocol]*Result, len(protos))}
 		for j, p := range protos {
-			out[i].Results[p] = results[i*len(protos)+j].Result
+			pr := results[i*len(protos)+j]
+			out[i].Results[p] = pr.Result
+			if pr.Err != nil {
+				if out[i].Errs == nil {
+					out[i].Errs = make(map[Protocol]error)
+					out[i].Repros = make(map[Protocol]*ReproBundle)
+				}
+				out[i].Errs[p] = pr.Err
+				out[i].Repros[p] = pr.Repro
+			}
 		}
 	}
 	return out, runErr
