@@ -29,13 +29,16 @@ import (
 )
 
 var (
-	scaleFlag   = flag.String("scale", "test", "problem size: test, small, paper")
-	parallelism = flag.Int("j", 0, "simulations to run concurrently (0 = all cores)")
-	timeout     = flag.Duration("timeout", 0, "abort the report after this long (0 = no limit)")
-	checkFlag   = flag.String("check", "off", "online coherence invariant checking: off, touched, full")
-	faultsFlag  = flag.String("faults", "", "inject a protocol fault into every point: class[@afterOp][:seed]")
-	cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	scaleFlag    = flag.String("scale", "test", "problem size: test, small, paper")
+	parallelism  = flag.Int("j", 0, "simulations to run concurrently (0 = all cores)")
+	timeout      = flag.Duration("timeout", 0, "abort the report after this long (0 = no limit)")
+	pointTimeout = flag.Duration("point-timeout", 0, "abort any single point after this long; the point becomes an annotated hole (0 = no limit)")
+	checkFlag    = flag.String("check", "off", "online coherence invariant checking: off, touched, full")
+	faultsFlag   = flag.String("faults", "", "inject protocol/message faults into every point: class[@arg][:seed],...")
+	mshrsFlag    = flag.Int("mshrs", 0, "per-home directory transaction buffers (0 = unlimited)")
+	retryFlag    = flag.String("retry", "", "NACK/loss retry policy: max:N,base:C,cap:C,jitter:S (empty = retries off)")
+	cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 // checkLevel is the parsed -check flag, applied to every simulation
@@ -137,14 +140,16 @@ func scale() lsnuma.Scale {
 }
 
 func opts() lsnuma.RunOptions {
-	return lsnuma.RunOptions{Parallelism: *parallelism}
+	return lsnuma.RunOptions{Parallelism: *parallelism, PointTimeout: *pointTimeout}
 }
 
-// robust applies the report-wide -check / -faults flags to one point's
-// configuration.
+// robust applies the report-wide -check / -faults / -mshrs / -retry flags
+// to one point's configuration.
 func robust(cfg lsnuma.Config) lsnuma.Config {
 	cfg.Check = checkLevel
 	cfg.Faults = *faultsFlag
+	cfg.DirMSHRs = *mshrsFlag
+	cfg.Retry = *retryFlag
 	return cfg
 }
 
@@ -181,8 +186,13 @@ func runAll(points []lsnuma.Point) []lsnuma.PointResult {
 			}
 			failed++
 			fmt.Fprintf(os.Stderr, "lsreport: %s: %v\n", r.Label, r.Err)
-			if b := r.Repro; b != nil && b.Retry != "" {
-				fmt.Fprintf(os.Stderr, "lsreport: %s: %s\n", r.Label, b.Retry)
+			if b := r.Repro; b != nil {
+				if b.Diagnosis != "" {
+					fmt.Fprintf(os.Stderr, "lsreport: %s diagnosis:\n%s\n", r.Label, b.Diagnosis)
+				}
+				if b.Retry != "" {
+					fmt.Fprintf(os.Stderr, "lsreport: %s: %s\n", r.Label, b.Retry)
+				}
 			}
 		}
 	}

@@ -42,7 +42,9 @@ func main() {
 		jsonOut      = flag.Bool("json", false, "emit results as JSON instead of text")
 		serial       = flag.Bool("serial", false, "use the per-access handshake scheduler (slower; for debugging/differential runs)")
 		checkLevel   = flag.String("check", "off", "online coherence invariant checking: off, touched, full")
-		faults       = flag.String("faults", "", "inject a protocol fault: class[@afterOp][:seed] (see lsnuma.Config.Faults)")
+		faults       = flag.String("faults", "", "inject protocol/message faults: class[@arg][:seed],... (see lsnuma.Config.Faults)")
+		mshrs        = flag.Int("mshrs", 0, "per-home directory transaction buffers (0 = unlimited)")
+		retry        = flag.String("retry", "", "NACK/loss retry policy: max:N,base:C,cap:C,jitter:S (empty = retries off)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -76,6 +78,8 @@ func main() {
 		fatal(err)
 	}
 	cfg.Faults = *faults
+	cfg.DirMSHRs = *mshrs
+	cfg.Retry = *retry
 	cfg.Variant = lsnuma.Variant{
 		DefaultTagged:   *defaultTag,
 		KeepOnWriteMiss: *keepOnMiss,
@@ -183,6 +187,20 @@ func printResult(r *lsnuma.Result) {
 		fmt.Printf("    misses: cold=%d repl=%d true-sharing=%d false-sharing=%d (false frac %.3f)\n",
 			r.MissKinds[0], r.MissKinds[1], r.MissKinds[2], r.MissKinds[3], r.FalseSharingFrac)
 	}
+	printResilience(&r.Resil)
+}
+
+// printResilience reports the resilient transaction layer's activity;
+// silent on classic (reliable, unlimited-buffer) runs.
+func printResilience(rs *lsnuma.ResilRow) {
+	if rs.Nacks == 0 && rs.Retries == 0 &&
+		rs.DroppedMsgs == 0 && rs.DupMsgs == 0 && rs.ReorderedMsgs == 0 {
+		return
+	}
+	fmt.Printf("    resilience: nacks=%d retries=%d (mean %.4f/txn, max %d) resends=%d\n",
+		rs.Nacks, rs.Retries, rs.MeanRetries, rs.MaxRetries, rs.TimeoutResends)
+	fmt.Printf("      backoff: total=%d cycles, max=%d  faults: dropped=%d dup=%d reordered=%d\n",
+		rs.BackoffCycles, rs.MaxBackoff, rs.DroppedMsgs, rs.DupMsgs, rs.ReorderedMsgs)
 }
 
 func fatal(err error) {

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lsnuma"
 	"lsnuma/internal/report"
@@ -34,8 +35,11 @@ func main() {
 		scaleName    = flag.String("scale", "test", "problem size: test, small, paper")
 		parallelism  = flag.Int("j", 0, "simulations to run concurrently (0 = all cores)")
 		timeout      = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
+		pointTimeout = flag.Duration("point-timeout", 0, "abort any single cell after this long; the cell becomes an annotated hole (0 = no limit)")
 		checkLevel   = flag.String("check", "off", "online coherence invariant checking: off, touched, full")
-		faults       = flag.String("faults", "", "inject a protocol fault into every cell: class[@afterOp][:seed]")
+		faults       = flag.String("faults", "", "inject protocol/message faults into every cell: class[@arg][:seed],...")
+		mshrs        = flag.Int("mshrs", 0, "per-home directory transaction buffers (0 = unlimited)")
+		retry        = flag.String("retry", "", "NACK/loss retry policy: max:N,base:C,cap:C,jitter:S (empty = retries off)")
 	)
 	flag.Parse()
 
@@ -61,6 +65,8 @@ func main() {
 	}
 	base.Check = check
 	base.Faults = *faults
+	base.DirMSHRs = *mshrs
+	base.Retry = *retry
 
 	param, err := lsnuma.ParseSweepParam(*sweep)
 	if err != nil {
@@ -78,7 +84,7 @@ func main() {
 	// annotate the holes with their error and diagnostic bundle, and exit
 	// non-zero at the end if anything failed.
 	results, runErr := lsnuma.Sweep(ctx, base, param, *workloadName, scale,
-		lsnuma.RunOptions{Parallelism: *parallelism})
+		lsnuma.RunOptions{Parallelism: *parallelism, PointTimeout: *pointTimeout})
 
 	failed := 0
 	for _, pt := range results {
@@ -93,6 +99,9 @@ func main() {
 				continue
 			}
 			fmt.Printf("  %s\n", report.Summary(r))
+			if line := report.Resilience(r); line != "" {
+				fmt.Printf("    %s\n", line)
+			}
 			if p != lsnuma.Baseline && base != nil && base.ExecTime > 0 {
 				fmt.Printf("    normalized: exec=%.1f traffic-bytes=%.1f traffic-msgs=%.1f read-misses=%.1f\n",
 					100*float64(r.ExecTime)/float64(base.ExecTime),
@@ -112,6 +121,11 @@ func main() {
 func printRepro(b *lsnuma.ReproBundle) {
 	if b == nil {
 		return
+	}
+	if b.Diagnosis != "" {
+		for _, line := range strings.Split(b.Diagnosis, "\n") {
+			fmt.Printf("    %s\n", line)
+		}
 	}
 	if b.Retry != "" {
 		fmt.Printf("    %s\n", b.Retry)

@@ -151,16 +151,38 @@ type Config struct {
 	// CheckInterval is the full-sweep period in serviced operations under
 	// CheckFull (zero = the engine default, 4096).
 	CheckInterval uint64
-	// Faults injects a deterministic protocol fault, for validating the
-	// checker: "class[@afterOp][:seed]", e.g. "forge-owner@500:7". Classes:
-	// flip-presence, forge-owner, drop-inval, corrupt-home,
-	// silent-downgrade, leak-ls-tag. Empty disables injection. Never set
-	// this for real measurements.
+	// Faults injects deterministic faults, for validating the checker and
+	// the retry machinery. Comma-separated parts: at most one
+	// state-corruption class "class[@afterOp][:seed]" (flip-presence,
+	// forge-owner, drop-inval, corrupt-home, silent-downgrade,
+	// leak-ls-tag), plus any subset of message-fault classes
+	// "class[@rate][:seed]" (drop-msg, dup-msg, reorder-msg) applied to
+	// every network message. Examples: "forge-owner@500:7",
+	// "drop-msg@1e-3", "drop-msg@1e-3,reorder-msg@1e-4:9". Empty disables
+	// injection. Never set this for real measurements.
 	Faults string
 	// RecordOps keeps a ring buffer of the last RecordOps memory
 	// operations for crash diagnostics (surfaced in ReproBundle.LastOps).
 	// Zero disables the ring.
 	RecordOps int
+	// DirMSHRs bounds the number of concurrent transactions each home
+	// node's directory controller can buffer: a request arriving while
+	// every buffer is busy is NACKed and retried under Retry. Zero means
+	// unlimited buffers (the classic infinitely-buffered model).
+	DirMSHRs int
+	// Retry configures the requester-side retry state machine for NACKed
+	// and lost transactions: comma-separated key:value fields from
+	// {max, base, cap, jitter}, e.g. "max:8,base:200,cap:5000,jitter:42"
+	// (omitted fields default to max:16,base:100,cap:10000,jitter:1).
+	// Empty disables retries — any NACK or message loss then trips the
+	// forward-progress watchdog instead of hanging.
+	Retry string
+	// ProgressWindow is the forward-progress watchdog's stall budget in
+	// cycles (zero = the engine default, 4,000,000): a transaction stuck
+	// in NACK/loss recovery longer than this fails the run with a
+	// structured starvation error naming the stuck block, its requester
+	// set, and the retry histogram.
+	ProgressWindow uint64
 }
 
 // DefaultConfig returns the paper's baseline configuration for the
@@ -223,12 +245,13 @@ func (c Config) engineConfig() (engine.Config, error) {
 	if err != nil {
 		return engine.Config{}, fmt.Errorf("lsnuma: %w", err)
 	}
-	var injector *fault.Injector
-	if c.Faults != "" {
-		injector, err = fault.ParseSpec(c.Faults)
-		if err != nil {
-			return engine.Config{}, fmt.Errorf("lsnuma: %w", err)
-		}
+	injector, msgFaults, err := fault.ParseSpecs(c.Faults)
+	if err != nil {
+		return engine.Config{}, fmt.Errorf("lsnuma: %w", err)
+	}
+	retry, err := protocol.ParseRetry(c.Retry)
+	if err != nil {
+		return engine.Config{}, fmt.Errorf("lsnuma: %w", err)
 	}
 	return engine.Config{
 		Nodes: c.Nodes,
@@ -258,6 +281,10 @@ func (c Config) engineConfig() (engine.Config, error) {
 		CheckInterval:     c.CheckInterval,
 		FaultInjector:     injector,
 		RecordOps:         c.RecordOps,
+		DirMSHRs:          c.DirMSHRs,
+		Retry:             retry,
+		ProgressWindow:    c.ProgressWindow,
+		MsgFaults:         msgFaults,
 	}, nil
 }
 

@@ -127,6 +127,29 @@ type Config struct {
 	// operations for crash diagnostics (Machine.LastOps). Zero disables
 	// the ring.
 	RecordOps int
+	// DirMSHRs bounds the number of concurrent transactions each home
+	// node's directory controller can buffer; a request that finds every
+	// buffer busy is NACKed and retried under Retry. Zero means unlimited
+	// buffers (the classic model).
+	DirMSHRs int
+	// Retry configures the requester-side retry state machine for NACKed
+	// and lost transactions. The zero policy disables retries: any NACK
+	// or loss then starves the requester and trips the watchdog.
+	Retry protocol.RetryPolicy
+	// ProgressWindow is the forward-progress watchdog's stall budget: a
+	// transaction spending more than this many cycles in NACK/loss
+	// recovery fails the run with a *StarvationError. Zero means the
+	// default (4,000,000 cycles).
+	ProgressWindow uint64
+	// MsgFaults, if non-nil, subjects network messages to deterministic
+	// drop/dup/reorder faults (fault.MsgInjector). Recovery is accounted
+	// out-of-band, leaving the simulated timeline unchanged (see the
+	// resil doc comment). Never set it for real measurements.
+	MsgFaults *fault.MsgInjector
+	// Cancel, if non-nil, is polled about every 1024 serviced operations;
+	// a non-nil return aborts the run with a *CancelledError wrapping it.
+	// Used for per-point wall-clock deadlines (context plumbing).
+	Cancel func() error
 }
 
 // Validate checks the machine configuration.
@@ -154,6 +177,12 @@ func (c Config) Validate() error {
 	}
 	if c.Protocol == nil {
 		return fmt.Errorf("engine: no protocol configured")
+	}
+	if c.DirMSHRs < 0 {
+		return fmt.Errorf("engine: negative directory MSHR count %d", c.DirMSHRs)
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

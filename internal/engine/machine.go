@@ -90,7 +90,25 @@ type Machine struct {
 	ringPos    int
 	ringLen    int
 	servicing  *op
+
+	// resil is the resilient transaction layer (finite home buffers,
+	// NACK/retry, message-fault recovery, forward-progress watchdog);
+	// nil when DirMSHRs, Retry and MsgFaults are all off.
+	resil *resil
+	// cancel, if set, is polled every 1024 serviced operations through
+	// the hooks path (Config.Cancel).
+	cancel func() error
 }
+
+// CancelledError aborts a run whose Config.Cancel hook reported an error
+// (per-point wall-clock deadlines, context cancellation). errors.Is/As
+// reach the hook's error through Unwrap.
+type CancelledError struct{ Err error }
+
+func (e *CancelledError) Error() string { return "engine: run cancelled: " + e.Err.Error() }
+
+// Unwrap exposes the hook's error to errors.Is/As.
+func (e *CancelledError) Unwrap() error { return e.Err }
 
 // OpTrace is one entry of the crash-diagnostics ring buffer
 // (Config.RecordOps): the operations serviced just before a failure.
@@ -119,12 +137,19 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("engine: panicked: %v", e.Value)
 }
 
-// recoveredError converts a recovered panic into the run's error. A
-// CoherenceViolation raised by the online checker passes through
-// unchanged; anything else becomes a PanicError with the stack captured
-// here, on the goroutine that panicked.
+// recoveredError converts a recovered panic into the run's error. The
+// structured failures — a CoherenceViolation from the online checker, a
+// StarvationError from the forward-progress watchdog, a CancelledError
+// from the Cancel hook — pass through unchanged; anything else becomes a
+// PanicError with the stack captured here, on the goroutine that
+// panicked.
 func recoveredError(cpu memory.NodeID, r any) error {
-	if v, ok := r.(*check.CoherenceViolation); ok {
+	switch v := r.(type) {
+	case *check.CoherenceViolation:
+		return v
+	case *StarvationError:
+		return v
+	case *CancelledError:
 		return v
 	}
 	return &PanicError{CPU: cpu, Value: r, Stack: debug.Stack()}
@@ -209,7 +234,11 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.RecordOps > 0 {
 		m.ring = make([]OpTrace, cfg.RecordOps)
 	}
-	m.hooks = m.checker != nil || m.faults != nil || m.ring != nil
+	if cfg.DirMSHRs > 0 || cfg.MsgFaults != nil || cfg.Retry.Enabled() {
+		m.resil = newResil(cfg)
+	}
+	m.cancel = cfg.Cancel
+	m.hooks = m.checker != nil || m.faults != nil || m.ring != nil || m.cancel != nil
 	return m, nil
 }
 
@@ -386,6 +415,11 @@ func (m *Machine) precheckOp(o *op) {
 // abort machinery.
 func (m *Machine) afterOp(o *op) {
 	m.opCount++
+	if m.cancel != nil && m.opCount&1023 == 0 {
+		if err := m.cancel(); err != nil {
+			panic(&CancelledError{Err: err})
+		}
+	}
 	if m.ring != nil {
 		m.ring[m.ringPos] = OpTrace{
 			CPU: o.proc.id, At: o.at, Addr: o.addr, Size: o.size,

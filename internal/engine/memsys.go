@@ -184,8 +184,7 @@ func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool)
 		m.seq.GlobalRead(block, R)
 	}
 
-	t := m.net.Send(R, H, stats.MsgReadReq, at)
-	t = m.ctrl(H, t, m.cfg.Timing.CtrlTime)
+	t := m.request(p, block, H, stats.MsgReadReq, at)
 
 	var fill cache.State
 	switch e.State {
@@ -212,7 +211,7 @@ func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool)
 			e.Owner = memory.NoNode
 			fill = cache.Shared
 		}
-		t = m.net.Send(H, R, stats.MsgReadReply, t)
+		t = m.send(H, R, stats.MsgReadReply, t)
 
 	case directory.Dirty, directory.Excl:
 		O := e.Owner
@@ -220,7 +219,7 @@ func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool)
 			panic(fmt.Sprintf("engine: read miss by owner %d of block %#x", R, block))
 		}
 		ownerState := m.nodes[O].caches.State(block)
-		t = m.net.Send(H, O, stats.MsgReadFwd, t)
+		t = m.send(H, O, stats.MsgReadFwd, t)
 		t = m.ctrl(O, t, m.cfg.Timing.CtrlTime+m.cfg.L2.AccessTime)
 
 		if ownerState == cache.LStemp {
@@ -234,9 +233,9 @@ func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool)
 			proto.NoteFailedPrediction(e)
 			m.st.FailedPredictions++
 			m.nodes[O].caches.Downgrade(block)
-			m.net.Send(O, H, stats.MsgNotLS, t)
-			m.net.Send(O, H, stats.MsgUpdate, t)
-			t = m.net.Send(O, R, stats.MsgReadReply, t)
+			m.send(O, H, stats.MsgNotLS, t)
+			m.send(O, H, stats.MsgUpdate, t)
+			t = m.send(O, R, stats.MsgReadReply, t)
 			e.State = directory.Shared
 			e.Sharers = 0
 			e.Sharers.Add(O)
@@ -247,7 +246,7 @@ func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool)
 			// Genuine dirty copy: DASH-style 4-hop read-on-dirty. The
 			// owner writes back through the home, which replies to the
 			// requester.
-			t = m.net.Send(O, H, stats.MsgSharingWB, t)
+			t = m.send(O, H, stats.MsgSharingWB, t)
 			t = m.ctrl(H, t, m.cfg.Timing.CtrlTime+m.cfg.Timing.MemTime)
 			if wantExcl || proto.GrantExclusiveOnRead(e, R) {
 				// Migratory/LS handling: the read is combined with the
@@ -268,13 +267,14 @@ func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool)
 				e.Owner = memory.NoNode
 				fill = cache.Shared
 			}
-			t = m.net.Send(H, R, stats.MsgReadReply, t)
+			t = m.send(H, R, stats.MsgReadReply, t)
 		}
 	}
 
 	proto.NoteRead(e, R)
 	t = m.ctrl(R, t, m.cfg.Timing.CtrlTime)
 	m.fill(p, block, fill, t)
+	m.complete(t)
 	return t
 }
 
@@ -300,17 +300,17 @@ func (m *Machine) upgrade(p *Proc, block memory.Addr, at uint64) uint64 {
 		m.seq.GlobalWrite(block, R, p.src, false)
 	}
 
-	t := m.net.Send(R, H, stats.MsgOwnReq, at)
-	t = m.ctrl(H, t, m.cfg.Timing.CtrlTime)
+	t := m.request(p, block, H, stats.MsgOwnReq, at)
 	t = m.invalidateSharers(e, block, R, H, t)
 
 	e.State = directory.Dirty
 	e.Owner = R
 	e.Sharers = 0
 
-	t = m.net.Send(H, R, stats.MsgOwnAck, t)
+	t = m.send(H, R, stats.MsgOwnAck, t)
 	t = m.ctrl(R, t, m.cfg.Timing.CtrlTime)
 	m.nodes[R].caches.Upgrade(block)
+	m.complete(t)
 	return t
 }
 
@@ -330,19 +330,18 @@ func (m *Machine) writeMiss(p *Proc, block memory.Addr, at uint64) uint64 {
 		m.seq.GlobalWrite(block, R, p.src, false)
 	}
 
-	t := m.net.Send(R, H, stats.MsgWriteReq, at)
-	t = m.ctrl(H, t, m.cfg.Timing.CtrlTime)
+	t := m.request(p, block, H, stats.MsgWriteReq, at)
 
 	switch e.State {
 	case directory.Uncached:
 		t = m.ctrl(H, t, m.cfg.Timing.MemTime)
-		t = m.net.Send(H, R, stats.MsgWriteReply, t)
+		t = m.send(H, R, stats.MsgWriteReply, t)
 
 	case directory.Shared:
 		m.st.WritesToShared++
 		t = m.invalidateSharers(e, block, R, H, t)
 		t = m.ctrl(H, t, m.cfg.Timing.MemTime)
-		t = m.net.Send(H, R, stats.MsgWriteReply, t)
+		t = m.send(H, R, stats.MsgWriteReply, t)
 
 	case directory.Dirty, directory.Excl:
 		O := e.Owner
@@ -350,7 +349,7 @@ func (m *Machine) writeMiss(p *Proc, block memory.Addr, at uint64) uint64 {
 			panic(fmt.Sprintf("engine: write miss by owner %d of block %#x", R, block))
 		}
 		ownerState := m.nodes[O].caches.State(block)
-		t = m.net.Send(H, O, stats.MsgWriteFwd, t)
+		t = m.send(H, O, stats.MsgWriteFwd, t)
 		t = m.ctrl(O, t, m.cfg.Timing.CtrlTime+m.cfg.L2.AccessTime)
 		if ownerState == cache.LStemp {
 			// Foreign write to an unexercised exclusive grant: failed
@@ -359,16 +358,16 @@ func (m *Machine) writeMiss(p *Proc, block memory.Addr, at uint64) uint64 {
 			proto.NoteFailedPrediction(e)
 			m.st.FailedPredictions++
 			m.loseCopy(O, block, true)
-			t = m.net.Send(O, H, stats.MsgInvalAck, t)
+			t = m.send(O, H, stats.MsgInvalAck, t)
 			m.st.Invalidations++
 			t = m.ctrl(H, t, m.cfg.Timing.MemTime)
-			t = m.net.Send(H, R, stats.MsgWriteReply, t)
+			t = m.send(H, R, stats.MsgWriteReply, t)
 		} else {
 			// Dirty transfer through the home (4 hops).
 			m.loseCopy(O, block, true)
-			t = m.net.Send(O, H, stats.MsgWriteback, t)
+			t = m.send(O, H, stats.MsgWriteback, t)
 			t = m.ctrl(H, t, m.cfg.Timing.CtrlTime+m.cfg.Timing.MemTime)
-			t = m.net.Send(H, R, stats.MsgWriteReply, t)
+			t = m.send(H, R, stats.MsgWriteReply, t)
 		}
 	}
 
@@ -378,6 +377,7 @@ func (m *Machine) writeMiss(p *Proc, block memory.Addr, at uint64) uint64 {
 
 	t = m.ctrl(R, t, m.cfg.Timing.CtrlTime)
 	m.fill(p, block, cache.Modified, t)
+	m.complete(t)
 	return t
 }
 
@@ -392,7 +392,7 @@ func (m *Machine) invalidateSharers(e *directory.Entry, block memory.Addr, keep,
 			return
 		}
 		m.st.Invalidations++
-		ti := m.net.Send(H, s, stats.MsgInval, t)
+		ti := m.send(H, s, stats.MsgInval, t)
 		ti = m.ctrl(s, ti, m.cfg.Timing.CtrlTime)
 		if m.faults == nil || !m.faults.DropInvalidation(s, block, m.opCount, t) {
 			m.loseCopy(s, block, true)
@@ -401,7 +401,7 @@ func (m *Machine) invalidateSharers(e *directory.Entry, block memory.Addr, keep,
 		// stale copy while the home forgets it — the lost-message bug the
 		// online checker must catch. The ack still "arrives": the home
 		// believes the invalidation succeeded.
-		ta := m.net.Send(s, H, stats.MsgInvalAck, ti)
+		ta := m.send(s, H, stats.MsgInvalAck, ti)
 		if ta > ackT {
 			ackT = ta
 		}
@@ -446,12 +446,12 @@ func (m *Machine) fill(p *Proc, block memory.Addr, s cache.State, t uint64) {
 			// LS-bit value (Section 3.1, case 3).
 			msg = stats.MsgReplHint
 		}
-		tv := m.net.Send(p.id, vHome, msg, t)
+		tv := m.send(p.id, vHome, msg, t)
 		m.ctrl(vHome, tv, m.cfg.Timing.CtrlTime+m.cfg.Timing.MemTime)
 		ve.State = directory.Uncached
 		ve.Owner = memory.NoNode
 	case cache.Shared:
-		tv := m.net.Send(p.id, vHome, stats.MsgReplHint, t)
+		tv := m.send(p.id, vHome, stats.MsgReplHint, t)
 		m.ctrl(vHome, tv, m.cfg.Timing.CtrlTime)
 		ve.Sharers.Remove(p.id)
 		if ve.Sharers.Empty() {

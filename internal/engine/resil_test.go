@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lsnuma/internal/fault"
+	"lsnuma/internal/protocol"
+)
+
+// dropAll returns an injector that destroys every network message.
+func dropAll(t *testing.T, class fault.MsgClass) *fault.MsgInjector {
+	t.Helper()
+	mi := fault.NewMsgInjector(1)
+	if err := mi.Set(class, 1); err != nil {
+		t.Fatal(err)
+	}
+	return mi
+}
+
+// TestCancelHook: a machine built with Config.Cancel polls it between
+// operations and aborts the run with a structured CancelledError.
+func TestCancelHook(t *testing.T) {
+	sentinel := errors.New("deadline elapsed")
+	cfg := testConfig(protocol.Baseline, protocol.Variant{})
+	polls := 0
+	cfg.Cancel = func() error {
+		polls++
+		if polls > 1 {
+			return sentinel
+		}
+		return nil
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run([]Program{func(p *Proc) {
+		for i := 0; i < 5000; i++ {
+			p.Read(0)
+		}
+	}})
+	if err == nil {
+		t.Fatal("cancelled run completed cleanly")
+	}
+	var cancelled *CancelledError
+	if !errors.As(err, &cancelled) {
+		t.Fatalf("error is not a CancelledError: %v", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("CancelledError does not unwrap to the hook's error: %v", err)
+	}
+	if polls < 2 {
+		t.Errorf("cancel hook polled %d times", polls)
+	}
+}
+
+// TestDropRetriesDisabled: with an unreliable interconnect and no retry
+// policy, the first lost message must fail the run immediately — reported
+// as the starvation its progress window would have become.
+func TestDropRetriesDisabled(t *testing.T) {
+	cfg := testConfig(protocol.Baseline, protocol.Variant{})
+	cfg.MsgFaults = dropAll(t, fault.DropMsg)
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run([]Program{func(p *Proc) {
+		p.Read(4096) // page 1 → home node 1: the first global message
+	}})
+	var starve *StarvationError
+	if !errors.As(err, &starve) {
+		t.Fatalf("want StarvationError, got %v", err)
+	}
+	if starve.Budget != 0 || !strings.Contains(starve.Cause, "retries disabled") {
+		t.Errorf("report wrong: budget=%d cause=%q", starve.Budget, starve.Cause)
+	}
+	if starve.Stalled != starve.Window || starve.Window == 0 {
+		t.Errorf("fail-fast should charge the full window: stalled=%d window=%d",
+			starve.Stalled, starve.Window)
+	}
+	if starve.CPU != 0 || starve.Home != 1 {
+		t.Errorf("attribution wrong: cpu=%d home=%d", starve.CPU, starve.Home)
+	}
+}
+
+// TestDropBudgetExhausted: when every retransmission is also destroyed,
+// the retry budget runs out and the watchdog reports exactly Max retries.
+func TestDropBudgetExhausted(t *testing.T) {
+	cfg := testConfig(protocol.Baseline, protocol.Variant{})
+	cfg.MsgFaults = dropAll(t, fault.DropMsg)
+	cfg.Retry = protocol.RetryPolicy{Max: 3, Base: 10, Cap: 100, JitterSeed: 1}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run([]Program{func(p *Proc) { p.Read(4096) }})
+	var starve *StarvationError
+	if !errors.As(err, &starve) {
+		t.Fatalf("want StarvationError, got %v", err)
+	}
+	if !strings.Contains(starve.Cause, "retry budget exhausted") {
+		t.Errorf("cause = %q", starve.Cause)
+	}
+	if starve.Retries != 3 || starve.Budget != 3 {
+		t.Errorf("retries %d/%d, want 3/3", starve.Retries, starve.Budget)
+	}
+	if st := m.Stats(); st.Resil.TimeoutResends != 3 || st.Resil.DroppedMsgs != 4 {
+		t.Errorf("accounting: resends=%d dropped=%d, want 3 and 4",
+			st.Resil.TimeoutResends, st.Resil.DroppedMsgs)
+	}
+}
+
+// TestReorderBudgetExhausted: the reorder path has its own recovery loop
+// (receiver NACK + backoff) with the same budget semantics.
+func TestReorderBudgetExhausted(t *testing.T) {
+	cfg := testConfig(protocol.Baseline, protocol.Variant{})
+	cfg.MsgFaults = dropAll(t, fault.ReorderMsg)
+	cfg.Retry = protocol.RetryPolicy{Max: 2, Base: 10, Cap: 100, JitterSeed: 1}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run([]Program{func(p *Proc) { p.Read(4096) }})
+	var starve *StarvationError
+	if !errors.As(err, &starve) {
+		t.Fatalf("want StarvationError, got %v", err)
+	}
+	if !strings.Contains(starve.Cause, "reordered") {
+		t.Errorf("cause = %q", starve.Cause)
+	}
+	if st := m.Stats(); st.Resil.ReorderedMsgs != 3 {
+		t.Errorf("reordered = %d, want 3", st.Resil.ReorderedMsgs)
+	}
+}
+
+// TestProgressWindow: a tiny window trips before the budget does.
+func TestProgressWindow(t *testing.T) {
+	cfg := testConfig(protocol.Baseline, protocol.Variant{})
+	cfg.MsgFaults = dropAll(t, fault.DropMsg)
+	cfg.Retry = protocol.RetryPolicy{Max: 1000, Base: 10, Cap: 100, JitterSeed: 1}
+	cfg.ProgressWindow = 5
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run([]Program{func(p *Proc) { p.Read(4096) }})
+	var starve *StarvationError
+	if !errors.As(err, &starve) {
+		t.Fatalf("want StarvationError, got %v", err)
+	}
+	if !strings.Contains(starve.Cause, "progress window") {
+		t.Errorf("cause = %q", starve.Cause)
+	}
+	if starve.Window != 5 || starve.Stalled <= 5 {
+		t.Errorf("window report wrong: stalled=%d window=%d", starve.Stalled, starve.Window)
+	}
+}
+
+// TestStarvationErrorRendering covers the report formats directly.
+func TestStarvationErrorRendering(t *testing.T) {
+	err := &StarvationError{
+		CPU: 2, Block: 0x1040, Home: 1, Cycle: 9999,
+		Retries: 4, Budget: 8, Stalled: 700, Window: 1000,
+		Cause: "home transaction buffers saturated",
+	}
+	msg := err.Error()
+	for _, want := range []string{"CPU 2", "0x1040", "home 1", "cycle 9999", "4/8", "700 of 1000"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() misses %q: %s", want, msg)
+		}
+	}
+	d := err.Diagnosis()
+	if !strings.Contains(d, "requesters of the stuck block") ||
+		!strings.Contains(d, "no transaction ever recovered") {
+		t.Errorf("empty-history diagnosis wrong:\n%s", d)
+	}
+	err.RetryHist[0], err.RetryHist[3] = 7, 2
+	d = err.Diagnosis()
+	if !strings.Contains(d, "1:7") || !strings.Contains(d, "4-7:2") {
+		t.Errorf("histogram diagnosis wrong:\n%s", d)
+	}
+}

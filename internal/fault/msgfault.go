@@ -1,0 +1,256 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// MsgClass enumerates the message-level fault classes applied at the
+// network layer. Unlike the state-corruption classes of Class — protocol
+// bugs the online checker must catch — message faults model an
+// unreliable interconnect (lost, duplicated, reordered messages) that the
+// requester-side retry machinery must recover from without changing the
+// simulated outcome.
+type MsgClass uint8
+
+const (
+	// DropMsg destroys a message in transit; the sender must time out and
+	// retransmit.
+	DropMsg MsgClass = iota
+	// DupMsg delivers an extra copy of a message; the receiver discards
+	// it idempotently (transactions are identified by requester and
+	// block), so only the wasted traffic is visible.
+	DupMsg
+	// ReorderMsg delivers a message out of order: the receiver rejects
+	// the stale copy with a NACK and the sender retransmits.
+	ReorderMsg
+
+	numMsgClasses
+)
+
+var msgClassNames = [numMsgClasses]string{
+	DropMsg:    "drop-msg",
+	DupMsg:     "dup-msg",
+	ReorderMsg: "reorder-msg",
+}
+
+func (c MsgClass) String() string {
+	if int(c) < len(msgClassNames) {
+		return msgClassNames[c]
+	}
+	return fmt.Sprintf("MsgClass(%d)", uint8(c))
+}
+
+// MsgClasses returns all message-fault classes.
+func MsgClasses() []MsgClass {
+	out := make([]MsgClass, numMsgClasses)
+	for i := range out {
+		out[i] = MsgClass(i)
+	}
+	return out
+}
+
+// ParseMsgClass converts a class name to a MsgClass.
+func ParseMsgClass(s string) (MsgClass, error) {
+	for i, n := range msgClassNames {
+		if s == n {
+			return MsgClass(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown message class %q (want %s)", s, strings.Join(msgClassNames[:], ", "))
+}
+
+// MsgVerdict is a MsgInjector's decision for one message.
+type MsgVerdict uint8
+
+const (
+	// Deliver lets the message through unharmed.
+	Deliver MsgVerdict = iota
+	// Drop destroys the message in transit.
+	Drop
+	// Dup delivers an extra copy of the message.
+	Dup
+	// Reorder delivers the message out of order (the receiver NACKs it).
+	Reorder
+)
+
+// MsgInjector draws a deterministic fault verdict for every network
+// message: one uniform draw per enabled class, in class order, first hit
+// wins. The draw sequence depends only on the seed and the message
+// sequence, so the same configuration faults the same messages on every
+// run.
+type MsgInjector struct {
+	rates [numMsgClasses]float64
+	seed  int64
+	rng   *rand.Rand
+}
+
+// NewMsgInjector returns an injector with all rates zero, drawing from a
+// generator seeded with seed.
+func NewMsgInjector(seed int64) *MsgInjector {
+	return &MsgInjector{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Set configures the per-message fault probability of one class.
+func (mi *MsgInjector) Set(class MsgClass, rate float64) error {
+	if class >= numMsgClasses {
+		return fmt.Errorf("fault: invalid message class %d", class)
+	}
+	if rate < 0 || rate > 1 || rate != rate {
+		return fmt.Errorf("fault: message fault rate %v outside [0, 1]", rate)
+	}
+	mi.rates[class] = rate
+	return nil
+}
+
+// Rate returns the configured probability of one class.
+func (mi *MsgInjector) Rate(class MsgClass) float64 { return mi.rates[class] }
+
+// Seed returns the injector's seed.
+func (mi *MsgInjector) Seed() int64 { return mi.seed }
+
+// Enabled reports whether any class has a nonzero rate.
+func (mi *MsgInjector) Enabled() bool {
+	for _, r := range mi.rates {
+		if r > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Verdict draws the fate of the next message.
+func (mi *MsgInjector) Verdict() MsgVerdict {
+	for c := MsgClass(0); c < numMsgClasses; c++ {
+		if mi.rates[c] == 0 {
+			continue
+		}
+		if mi.rng.Float64() < mi.rates[c] {
+			switch c {
+			case DropMsg:
+				return Drop
+			case DupMsg:
+				return Dup
+			default:
+				return Reorder
+			}
+		}
+	}
+	return Deliver
+}
+
+// String renders the injector's configuration in ParseMsgSpec's grammar.
+func (mi *MsgInjector) String() string {
+	var parts []string
+	for c := MsgClass(0); c < numMsgClasses; c++ {
+		if mi.rates[c] > 0 {
+			parts = append(parts, fmt.Sprintf("%s@%g", c, mi.rates[c]))
+		}
+	}
+	s := strings.Join(parts, ",")
+	if mi.seed != 1 {
+		s += ":" + strconv.FormatInt(mi.seed, 10)
+	}
+	return s
+}
+
+// ParseMsgSpec parses a message-fault specification: comma-separated
+// "class[@rate]" parts with an optional ":seed" suffix on one part, e.g.
+// "drop-msg@1e-3,dup-msg@1e-4:7". The rate defaults to 1e-3 and the seed
+// to 1. Each class may appear at most once.
+func ParseMsgSpec(spec string) (*MsgInjector, error) {
+	seed := int64(1)
+	seenSeed := false
+	type part struct {
+		class MsgClass
+		rate  float64
+	}
+	var parts []part
+	var seen [numMsgClasses]bool
+	for _, raw := range strings.Split(spec, ",") {
+		rest := raw
+		if i := strings.LastIndexByte(rest, ':'); i >= 0 {
+			if seenSeed {
+				return nil, fmt.Errorf("fault: multiple seeds in message spec %q", spec)
+			}
+			v, err := strconv.ParseInt(rest[i+1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed in message spec %q: %v", spec, err)
+			}
+			seed, seenSeed, rest = v, true, rest[:i]
+		}
+		rate := 1e-3
+		if i := strings.IndexByte(rest, '@'); i >= 0 {
+			v, err := strconv.ParseFloat(rest[i+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad rate in message spec %q: %v", spec, err)
+			}
+			rate, rest = v, rest[:i]
+		}
+		class, err := ParseMsgClass(rest)
+		if err != nil {
+			return nil, err
+		}
+		if seen[class] {
+			return nil, fmt.Errorf("fault: duplicate class %s in message spec %q", class, spec)
+		}
+		seen[class] = true
+		parts = append(parts, part{class, rate})
+	}
+	mi := NewMsgInjector(seed)
+	for _, p := range parts {
+		if err := mi.Set(p.class, p.rate); err != nil {
+			return nil, fmt.Errorf("%w (message spec %q)", err, spec)
+		}
+	}
+	return mi, nil
+}
+
+// classToken extracts the leading class name of one spec part — the text
+// before the first '@' or ':' — used to route parts between the state-
+// corruption and message-fault grammars.
+func classToken(part string) string {
+	if i := strings.IndexAny(part, "@:"); i >= 0 {
+		return part[:i]
+	}
+	return part
+}
+
+// ParseSpecs parses a combined fault specification: comma-separated
+// parts, each either a state-corruption spec in ParseSpec's grammar
+// ("class[@afterOp][:seed]", at most one) or a message-fault part in
+// ParseMsgSpec's grammar ("class[@rate][:seed]", any subset of classes).
+// Examples: "drop-msg@1e-3", "forge-owner@500:7",
+// "drop-msg@1e-3,reorder-msg@1e-4:9". The empty string yields (nil, nil).
+func ParseSpecs(spec string) (*Injector, *MsgInjector, error) {
+	if spec == "" {
+		return nil, nil, nil
+	}
+	var stateParts, msgParts []string
+	for _, part := range strings.Split(spec, ",") {
+		if _, err := ParseMsgClass(classToken(part)); err == nil {
+			msgParts = append(msgParts, part)
+		} else {
+			stateParts = append(stateParts, part)
+		}
+	}
+	var inj *Injector
+	var mi *MsgInjector
+	var err error
+	if len(stateParts) > 1 {
+		return nil, nil, fmt.Errorf("fault: at most one state-corruption class per spec, got %s", strings.Join(stateParts, ", "))
+	}
+	if len(stateParts) == 1 {
+		if inj, err = ParseSpec(stateParts[0]); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(msgParts) > 0 {
+		if mi, err = ParseMsgSpec(strings.Join(msgParts, ",")); err != nil {
+			return nil, nil, err
+		}
+	}
+	return inj, mi, err
+}

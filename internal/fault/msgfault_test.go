@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMsgClass(t *testing.T) {
+	for _, c := range MsgClasses() {
+		got, err := ParseMsgClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseMsgClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseMsgClass("lose-msg"); err == nil {
+		t.Error("unknown message class accepted")
+	}
+	if s := MsgClass(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("out-of-range class renders %q", s)
+	}
+}
+
+func TestParseMsgSpec(t *testing.T) {
+	mi, err := ParseMsgSpec("drop-msg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.Rate(DropMsg) != 1e-3 || mi.Seed() != 1 {
+		t.Errorf("defaults wrong: rate=%g seed=%d", mi.Rate(DropMsg), mi.Seed())
+	}
+	mi, err = ParseMsgSpec("drop-msg@0.5,dup-msg@1e-4,reorder-msg:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.Rate(DropMsg) != 0.5 || mi.Rate(DupMsg) != 1e-4 || mi.Rate(ReorderMsg) != 1e-3 {
+		t.Errorf("rates wrong: %g %g %g", mi.Rate(DropMsg), mi.Rate(DupMsg), mi.Rate(ReorderMsg))
+	}
+	if mi.Seed() != 7 {
+		t.Errorf("seed = %d, want 7", mi.Seed())
+	}
+	for _, bad := range []string{
+		"lose-msg",                  // unknown class
+		"drop-msg@0.1,drop-msg@0.2", // duplicate class
+		"drop-msg:1,dup-msg:2",      // two seeds
+		"drop-msg@banana",           // bad rate
+		"drop-msg@2.0",              // rate above 1
+		"drop-msg@-0.1",             // negative rate
+		"drop-msg:1.5",              // non-integer seed
+		"",                          // empty part
+	} {
+		if _, err := ParseMsgSpec(bad); err == nil {
+			t.Errorf("ParseMsgSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMsgInjectorSet(t *testing.T) {
+	mi := NewMsgInjector(1)
+	if mi.Enabled() {
+		t.Error("fresh injector already enabled")
+	}
+	if err := mi.Set(DropMsg, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if !mi.Enabled() || mi.Rate(DropMsg) != 0.25 {
+		t.Errorf("Set did not take: enabled=%v rate=%g", mi.Enabled(), mi.Rate(DropMsg))
+	}
+	nan := 0.0
+	nan /= nan
+	for _, bad := range []float64{-0.1, 1.1, nan} {
+		if err := mi.Set(DupMsg, bad); err == nil {
+			t.Errorf("rate %v accepted", bad)
+		}
+	}
+	if err := mi.Set(MsgClass(9), 0.1); err == nil {
+		t.Error("out-of-range class accepted")
+	}
+}
+
+func TestVerdictDeterminismAndRates(t *testing.T) {
+	// Rate 1 forces the class; rate 0 never fires.
+	mi := NewMsgInjector(3)
+	mi.Set(ReorderMsg, 1)
+	for i := 0; i < 100; i++ {
+		if v := mi.Verdict(); v != Reorder {
+			t.Fatalf("verdict %d = %v, want Reorder", i, v)
+		}
+	}
+	if v := NewMsgInjector(3).Verdict(); v != Deliver {
+		t.Errorf("all-zero injector faulted: %v", v)
+	}
+	// Identical configuration → identical verdict sequence.
+	a, _ := ParseMsgSpec("drop-msg@0.3,dup-msg@0.3:9")
+	b, _ := ParseMsgSpec("drop-msg@0.3,dup-msg@0.3:9")
+	for i := 0; i < 1000; i++ {
+		if va, vb := a.Verdict(), b.Verdict(); va != vb {
+			t.Fatalf("verdict %d diverges: %v vs %v", i, va, vb)
+		}
+	}
+	// Drop draws before dup: at rate 1 on both, drop always wins.
+	c := NewMsgInjector(1)
+	c.Set(DropMsg, 1)
+	c.Set(DupMsg, 1)
+	if v := c.Verdict(); v != Drop {
+		t.Errorf("class order broken: %v", v)
+	}
+}
+
+func TestMsgInjectorStringRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"drop-msg@0.001",
+		"drop-msg@0.5,reorder-msg@0.25:7",
+		"dup-msg@1e-05:-3",
+	} {
+		mi, err := ParseMsgSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseMsgSpec(%q): %v", spec, err)
+		}
+		back, err := ParseMsgSpec(mi.String())
+		if err != nil {
+			t.Fatalf("String() %q of %q does not reparse: %v", mi.String(), spec, err)
+		}
+		if back.Seed() != mi.Seed() {
+			t.Errorf("%q: seed diverges %d -> %d", spec, mi.Seed(), back.Seed())
+		}
+		for _, c := range MsgClasses() {
+			if back.Rate(c) != mi.Rate(c) {
+				t.Errorf("%q: rate of %s diverges %g -> %g", spec, c, mi.Rate(c), back.Rate(c))
+			}
+		}
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	inj, mi, err := ParseSpecs("")
+	if inj != nil || mi != nil || err != nil {
+		t.Errorf("empty spec: %v %v %v", inj, mi, err)
+	}
+	inj, mi, err = ParseSpecs("drop-msg@0.1")
+	if err != nil || inj != nil || mi == nil || mi.Rate(DropMsg) != 0.1 {
+		t.Errorf("message-only spec: inj=%v mi=%v err=%v", inj, mi, err)
+	}
+	inj, mi, err = ParseSpecs("forge-owner@500:7")
+	if err != nil || inj == nil || mi != nil {
+		t.Errorf("state-only spec: inj=%v mi=%v err=%v", inj, mi, err)
+	}
+	inj, mi, err = ParseSpecs("drop-inval@200,drop-msg@0.2,reorder-msg@0.1:9")
+	if err != nil || inj == nil || mi == nil {
+		t.Fatalf("combined spec: inj=%v mi=%v err=%v", inj, mi, err)
+	}
+	if mi.Rate(DropMsg) != 0.2 || mi.Rate(ReorderMsg) != 0.1 || mi.Seed() != 9 {
+		t.Errorf("combined message side wrong: %+v", mi)
+	}
+	if _, _, err := ParseSpecs("drop-inval@200,forge-owner@300"); err == nil {
+		t.Error("two state-corruption classes accepted")
+	}
+	if _, _, err := ParseSpecs("made-up-class"); err == nil ||
+		!strings.Contains(err.Error(), "fault:") {
+		t.Errorf("unknown class error not structured: %v", err)
+	}
+}
+
+// FuzzParseMsgSpec holds the message-fault parser to its grammar:
+// anything it accepts must render (String) and reparse to the identical
+// rates and seed, with every rate inside [0, 1].
+func FuzzParseMsgSpec(f *testing.F) {
+	f.Add("drop-msg")
+	f.Add("drop-msg@0.5,dup-msg@1e-4,reorder-msg:7")
+	f.Add("dup-msg@1e-05:-3")
+	f.Add("reorder-msg@1")
+	f.Add("drop-msg@1e-3,reorder-msg@1e-4:9")
+	f.Fuzz(func(t *testing.T, spec string) {
+		mi, err := ParseMsgSpec(spec)
+		if err != nil {
+			return
+		}
+		for _, c := range MsgClasses() {
+			if r := mi.Rate(c); r < 0 || r > 1 || r != r {
+				t.Fatalf("ParseMsgSpec(%q) accepted rate %v for %s", spec, r, c)
+			}
+		}
+		back, err := ParseMsgSpec(mi.String())
+		if err != nil {
+			t.Fatalf("String() %q of accepted spec %q does not reparse: %v", mi.String(), spec, err)
+		}
+		if back.Seed() != mi.Seed() {
+			t.Fatalf("round trip seed diverges: %q -> %d -> %d", spec, mi.Seed(), back.Seed())
+		}
+		for _, c := range MsgClasses() {
+			if back.Rate(c) != mi.Rate(c) {
+				t.Fatalf("round trip rate of %s diverges: %q -> %g -> %g", c, spec, mi.Rate(c), back.Rate(c))
+			}
+		}
+	})
+}

@@ -64,6 +64,19 @@ func (c Config) Validate() error {
 	if c.BlockSize == 0 {
 		return fmt.Errorf("network: zero block size")
 	}
+	switch c.Topology {
+	case PointToPoint:
+	case Mesh2D:
+		// A zero hop delay silently collapses the mesh's Manhattan-
+		// distance model to uniform cost — reject it rather than let a
+		// distance study measure nothing.
+		if c.HopDelay == 0 {
+			return fmt.Errorf("network: Mesh2D with zero hop delay degrades distance modeling; set HopDelay >= 1")
+		}
+	default:
+		return fmt.Errorf("network: unknown topology %d (want %s or %s)",
+			uint8(c.Topology), PointToPoint, Mesh2D)
+	}
 	return nil
 }
 

@@ -1,0 +1,129 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// RetryPolicy configures the requester-side retry state machine for
+// NACKed and lost coherence transactions: up to Max retries per
+// transaction, retry k waiting min(Cap, Base<<(k-1)) cycles of bounded
+// exponential backoff plus deterministic jitter in [0, Base) drawn from a
+// generator seeded with JitterSeed. The zero policy (Max == 0) disables
+// retries entirely — any NACK or loss then starves the requester and
+// trips the engine's forward-progress watchdog.
+type RetryPolicy struct {
+	Max        int    // retry budget per transaction (0 = retries disabled)
+	Base       uint64 // initial backoff in cycles
+	Cap        uint64 // backoff ceiling in cycles
+	JitterSeed int64  // seed of the deterministic jitter stream
+}
+
+// DefaultRetry returns the default policy: 16 retries, 100-cycle base,
+// 10,000-cycle cap, jitter seed 1.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{Max: 16, Base: 100, Cap: 10_000, JitterSeed: 1}
+}
+
+// Enabled reports whether the policy allows any retries.
+func (p RetryPolicy) Enabled() bool { return p.Max > 0 }
+
+// Validate checks the policy's internal consistency.
+func (p RetryPolicy) Validate() error {
+	if p.Max < 0 {
+		return fmt.Errorf("protocol: retry max %d < 0", p.Max)
+	}
+	if !p.Enabled() {
+		return nil
+	}
+	if p.Base == 0 {
+		return fmt.Errorf("protocol: retry base backoff is zero")
+	}
+	if p.Cap < p.Base {
+		return fmt.Errorf("protocol: retry cap %d below base %d", p.Cap, p.Base)
+	}
+	return nil
+}
+
+// Backoff returns the wait in cycles before retry `attempt` (1-based):
+// exponential growth from Base, bounded by Cap, plus jitter in [0, Base)
+// from rng (no jitter when rng is nil or Base <= 1).
+func (p RetryPolicy) Backoff(attempt int, rng *rand.Rand) uint64 {
+	if attempt < 1 {
+		attempt = 1
+	}
+	wait := p.Cap
+	if shift := uint(attempt - 1); shift < 32 {
+		if v := p.Base << shift; v < p.Cap {
+			wait = v
+		}
+	}
+	if rng != nil && p.Base > 1 {
+		wait += uint64(rng.Int63n(int64(p.Base)))
+	}
+	return wait
+}
+
+// String renders the policy in ParseRetry's grammar; the disabled zero
+// policy renders as the empty string.
+func (p RetryPolicy) String() string {
+	if !p.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("max:%d,base:%d,cap:%d,jitter:%d", p.Max, p.Base, p.Cap, p.JitterSeed)
+}
+
+// ParseRetry parses a retry specification: comma-separated key:value
+// fields from {max, base, cap, jitter}, e.g. "max:8,base:200,cap:5000" or
+// "max:16,base:100,cap:10000,jitter:42". Omitted fields take the
+// DefaultRetry values; the empty string yields the disabled zero policy.
+func ParseRetry(spec string) (RetryPolicy, error) {
+	if spec == "" {
+		return RetryPolicy{}, nil
+	}
+	p := DefaultRetry()
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(field, ":")
+		if !ok {
+			return RetryPolicy{}, fmt.Errorf("protocol: retry field %q is not key:value (spec %q)", field, spec)
+		}
+		switch key {
+		case "max":
+			v, err := strconv.Atoi(val)
+			if err != nil || v < 0 {
+				return RetryPolicy{}, fmt.Errorf("protocol: bad retry max %q in spec %q", val, spec)
+			}
+			p.Max = v
+		case "base", "cap":
+			// 31-bit bound keeps the backoff arithmetic (shifts, jitter
+			// draws) comfortably inside uint64/int63.
+			v, err := strconv.ParseUint(val, 10, 31)
+			if err != nil || v == 0 {
+				return RetryPolicy{}, fmt.Errorf("protocol: bad retry %s %q in spec %q", key, val, spec)
+			}
+			if key == "base" {
+				p.Base = v
+			} else {
+				p.Cap = v
+			}
+		case "jitter":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return RetryPolicy{}, fmt.Errorf("protocol: bad retry jitter seed %q in spec %q", val, spec)
+			}
+			p.JitterSeed = v
+		default:
+			return RetryPolicy{}, fmt.Errorf("protocol: unknown retry field %q in spec %q (want max, base, cap, jitter)", key, spec)
+		}
+	}
+	if !p.Enabled() {
+		// "max:0" explicitly disables retries.
+		return RetryPolicy{}, nil
+	}
+	if err := p.Validate(); err != nil {
+		return RetryPolicy{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,155 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseRetry(t *testing.T) {
+	cases := []struct {
+		spec string
+		want RetryPolicy
+	}{
+		{"", RetryPolicy{}},
+		{"max:0", RetryPolicy{}},
+		{"max:0,base:5000", RetryPolicy{}},
+		{"max:8", RetryPolicy{Max: 8, Base: 100, Cap: 10_000, JitterSeed: 1}},
+		{"base:50", RetryPolicy{Max: 16, Base: 50, Cap: 10_000, JitterSeed: 1}},
+		{"max:8,base:200,cap:5000,jitter:42", RetryPolicy{Max: 8, Base: 200, Cap: 5000, JitterSeed: 42}},
+		{"jitter:-3", RetryPolicy{Max: 16, Base: 100, Cap: 10_000, JitterSeed: -3}},
+	}
+	for _, tc := range cases {
+		got, err := ParseRetry(tc.spec)
+		if err != nil {
+			t.Errorf("ParseRetry(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseRetry(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+	for _, bad := range []string{
+		"max",              // not key:value
+		"max:banana",       // non-numeric
+		"max:-1",           // negative budget
+		"base:0",           // zero backoff
+		"cap:0",            // zero ceiling
+		"base:200,cap:100", // cap below base
+		"cap:99999999999",  // outside the 31-bit bound
+		"frequency:9",      // unknown field
+		"max:8,,cap:5000",  // empty field
+		"max:8 ,base:100",  // stray whitespace in key
+	} {
+		if _, err := ParseRetry(bad); err == nil {
+			t.Errorf("ParseRetry(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRetryStringRoundTrip(t *testing.T) {
+	if s := (RetryPolicy{}).String(); s != "" {
+		t.Errorf("disabled policy renders %q, want empty", s)
+	}
+	p := RetryPolicy{Max: 5, Base: 30, Cap: 900, JitterSeed: 17}
+	back, err := ParseRetry(p.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", p.String(), err)
+	}
+	if back != p {
+		t.Errorf("round trip: %+v -> %q -> %+v", p, p.String(), back)
+	}
+}
+
+func TestRetryValidate(t *testing.T) {
+	if err := DefaultRetry().Validate(); err != nil {
+		t.Errorf("default policy invalid: %v", err)
+	}
+	if err := (RetryPolicy{}).Validate(); err != nil {
+		t.Errorf("disabled policy invalid: %v", err)
+	}
+	for _, bad := range []RetryPolicy{
+		{Max: -1},
+		{Max: 4, Base: 0, Cap: 100},
+		{Max: 4, Base: 200, Cap: 100},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid policy accepted: %+v", bad)
+		}
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{Max: 64, Base: 100, Cap: 10_000, JitterSeed: 1}
+	wants := []uint64{100, 200, 400, 800, 1600, 3200, 6400, 10_000, 10_000}
+	for i, want := range wants {
+		if got := p.Backoff(i+1, nil); got != want {
+			t.Errorf("Backoff(%d) = %d, want %d", i+1, got, want)
+		}
+	}
+	// Attempts below 1 clamp to the first backoff; huge attempts (where
+	// the shift would overflow) sit at the cap.
+	if got := p.Backoff(0, nil); got != 100 {
+		t.Errorf("Backoff(0) = %d, want 100", got)
+	}
+	if got := p.Backoff(1000, nil); got != 10_000 {
+		t.Errorf("Backoff(1000) = %d, want cap 10000", got)
+	}
+}
+
+func TestBackoffJitter(t *testing.T) {
+	p := RetryPolicy{Max: 8, Base: 100, Cap: 10_000, JitterSeed: 7}
+	a := rand.New(rand.NewSource(p.JitterSeed))
+	b := rand.New(rand.NewSource(p.JitterSeed))
+	varied := false
+	for i := 1; i <= 32; i++ {
+		base := p.Backoff(i, nil)
+		ja, jb := p.Backoff(i, a), p.Backoff(i, b)
+		if ja != jb {
+			t.Fatalf("same seed, different jitter: %d vs %d", ja, jb)
+		}
+		if ja < base || ja >= base+p.Base {
+			t.Errorf("jittered backoff %d outside [%d, %d)", ja, base, base+p.Base)
+		}
+		if ja != base {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter never moved the backoff")
+	}
+	// Base <= 1 draws no jitter at all (Int63n would reject n=0 or be a
+	// constant), so the stream is not consumed.
+	tiny := RetryPolicy{Max: 8, Base: 1, Cap: 100}
+	rng := rand.New(rand.NewSource(1))
+	if got := tiny.Backoff(1, rng); got != 1 {
+		t.Errorf("Base=1 backoff = %d, want 1", got)
+	}
+}
+
+// FuzzParseRetry holds the parser to its grammar: anything it accepts
+// must render (String) and reparse to the identical policy, and the
+// accepted policy must pass Validate.
+func FuzzParseRetry(f *testing.F) {
+	f.Add("")
+	f.Add("max:0")
+	f.Add("max:8,base:200,cap:5000,jitter:42")
+	f.Add("base:50")
+	f.Add("jitter:-3")
+	f.Add("max:16,base:100,cap:10000,jitter:1")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseRetry(spec)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParseRetry(%q) accepted an invalid policy %+v: %v", spec, p, err)
+		}
+		back, err := ParseRetry(p.String())
+		if err != nil {
+			t.Fatalf("String() of accepted policy %+v does not reparse: %v", p, err)
+		}
+		if back != p {
+			t.Fatalf("round trip diverges: %q -> %+v -> %q -> %+v", spec, p, p.String(), back)
+		}
+	})
+}

@@ -226,3 +226,17 @@ func Summary(r *lsnuma.Result) string {
 		r.Workload, r.Protocol, r.ExecTime, r.Busy, r.ReadStall, r.WriteStall,
 		r.Msgs, r.Bytes, r.GlobalInv, r.GlobalWriteMisses, r.Invalidations, r.EliminatedOwnership)
 }
+
+// Resilience renders a one-line summary of the resilient transaction
+// layer's activity, or "" when the run saw no NACKs, retries or injected
+// message faults (the classic reliable model).
+func Resilience(r *lsnuma.Result) string {
+	rs := &r.Resil
+	if rs.Nacks == 0 && rs.Retries == 0 &&
+		rs.DroppedMsgs == 0 && rs.DupMsgs == 0 && rs.ReorderedMsgs == 0 {
+		return ""
+	}
+	return fmt.Sprintf("resilience: nacks=%d retries=%d (mean %.4f/txn, max %d) resends=%d backoff=%d/%d dropped=%d dup=%d reordered=%d",
+		rs.Nacks, rs.Retries, rs.MeanRetries, rs.MaxRetries, rs.TimeoutResends,
+		rs.BackoffCycles, rs.MaxBackoff, rs.DroppedMsgs, rs.DupMsgs, rs.ReorderedMsgs)
+}

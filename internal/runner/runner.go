@@ -12,8 +12,10 @@
 //   - per-job error isolation: one failing job does not abort the rest;
 //   - bounded parallelism: at most `parallelism` jobs run at once;
 //   - cancellation: once ctx is done, unstarted jobs are skipped and
-//     recorded as ctx.Err() (running jobs finish — simulations are not
-//     interruptible mid-run).
+//     recorded as ctx.Err() (the runner never interrupts a running job
+//     itself, but jobs receive a context they can observe mid-run);
+//   - per-job deadlines: RunEach bounds each job's wall-clock runtime
+//     independently of ctx's own deadline.
 package runner
 
 import (
@@ -23,6 +25,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // JobError wraps the failure of one job with its index.
@@ -55,6 +58,15 @@ func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
 // All jobs run even if some fail. If ctx is cancelled, jobs not yet
 // started are skipped and their slot records ctx.Err().
 func Run(ctx context.Context, n, parallelism int, job func(ctx context.Context, i int) error) ([]error, error) {
+	return RunEach(ctx, n, parallelism, 0, job)
+}
+
+// RunEach is Run with a per-job wall-clock deadline: when `each` is
+// positive, every job receives a context that is cancelled `each` after
+// the job starts, independent of ctx's own lifetime. A job that outlives
+// its deadline is expected to observe its context and return the
+// context's error; the runner itself never kills a job.
+func RunEach(ctx context.Context, n, parallelism int, each time.Duration, job func(ctx context.Context, i int) error) ([]error, error) {
 	errs := make([]error, n)
 	if n == 0 {
 		return errs, nil
@@ -77,7 +89,12 @@ func Run(ctx context.Context, n, parallelism int, job func(ctx context.Context, 
 					errs[i] = err
 					continue
 				}
-				errs[i] = safeRun(ctx, i, job)
+				jctx, cancel := ctx, func() {}
+				if each > 0 {
+					jctx, cancel = context.WithTimeout(ctx, each)
+				}
+				errs[i] = safeRun(jctx, i, job)
+				cancel()
 			}
 		}()
 	}

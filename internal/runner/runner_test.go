@@ -219,3 +219,43 @@ func TestConcurrencyOverlap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunEachDeadline: RunEach's per-job deadline cancels each job's
+// context independently — one job that outlives its deadline observes the
+// expiry while its siblings run to completion, and the parent context
+// stays alive throughout.
+func TestRunEachDeadline(t *testing.T) {
+	ctx := context.Background()
+	errs, err := RunEach(ctx, 3, 3, 20*time.Millisecond, func(jctx context.Context, i int) error {
+		if i == 1 {
+			<-jctx.Done() // an observant job returns its context's error
+			return jctx.Err()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("deadline expiry not aggregated")
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("siblings infected by job 1's deadline: %v %v", errs[0], errs[2])
+	}
+	if !errors.Is(errs[1], context.DeadlineExceeded) {
+		t.Errorf("job 1 error = %v, want deadline exceeded", errs[1])
+	}
+	if ctx.Err() != nil {
+		t.Error("per-job deadline cancelled the parent context")
+	}
+}
+
+// TestRunEachZeroIsRun: a zero per-job deadline must impose no limit.
+func TestRunEachZeroIsRun(t *testing.T) {
+	errs, err := RunEach(context.Background(), 2, 2, 0, func(jctx context.Context, i int) error {
+		if _, ok := jctx.Deadline(); ok {
+			return errors.New("zero deadline still set a deadline")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(errs)
+	}
+}

@@ -124,6 +124,84 @@ func (t MsgType) CarriesData() bool {
 // HeaderBytes is the size of a coherence message header.
 const HeaderBytes = 8
 
+// NumRetryBuckets is the size of the per-transaction retry histogram:
+// buckets 1, 2, 3, 4-7, 8-15, >= 16 retries.
+const NumRetryBuckets = 6
+
+// RetryBucket maps a per-transaction retry count (>= 1) to its histogram
+// bucket.
+func RetryBucket(retries uint64) int {
+	switch {
+	case retries <= 1:
+		return 0
+	case retries <= 3:
+		return int(retries) - 1
+	case retries < 8:
+		return 3
+	case retries < 16:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// RetryBucketLabels names the RetryHist buckets for reports.
+var RetryBucketLabels = [NumRetryBuckets]string{"1", "2", "3", "4-7", "8-15", ">=16"}
+
+// Resilience aggregates the resilient transaction layer's accounting:
+// NACKs from saturated home transaction buffers, request retransmissions
+// with their backoff-induced latency, and the injected message faults the
+// retry machinery recovered from. All-zero on a classic run (unlimited
+// buffers, reliable interconnect).
+type Resilience struct {
+	// Nacks counts negative acknowledgements sent by homes whose
+	// transaction buffers were all busy (finite-MSHR contention only;
+	// reorder-rejection NACKs appear in Msgs[MsgRetry] but not here).
+	Nacks uint64
+	// Retries counts request retransmissions from all causes: buffer
+	// NACKs, lost-message timeouts, and reorder rejections.
+	Retries uint64
+	// TimeoutResends counts the subset of Retries triggered by a
+	// lost-message timeout rather than an explicit NACK.
+	TimeoutResends uint64
+	// BackoffCycles accumulates the cycles spent waiting in retry
+	// backoff (including loss-detection timeouts); MaxBackoff is the
+	// largest single wait.
+	BackoffCycles uint64
+	MaxBackoff    uint64
+	// MaxRetries is the largest number of retries any single transaction
+	// needed; RetryHist buckets every recovered transaction by its retry
+	// count (see RetryBucket).
+	MaxRetries uint64
+	RetryHist  [NumRetryBuckets]uint64
+	// Injected message-fault activity: messages destroyed in transit,
+	// duplicate copies delivered, and messages rejected for arriving out
+	// of order.
+	DroppedMsgs   uint64
+	DupMsgs       uint64
+	ReorderedMsgs uint64
+}
+
+// NoteBackoff records one backoff wait of the given length.
+func (r *Resilience) NoteBackoff(cycles uint64) {
+	r.BackoffCycles += cycles
+	if cycles > r.MaxBackoff {
+		r.MaxBackoff = cycles
+	}
+}
+
+// NoteRecovered records a transaction (or message delivery) that needed
+// `retries` retransmissions before succeeding.
+func (r *Resilience) NoteRecovered(retries uint64) {
+	if retries == 0 {
+		return
+	}
+	r.RetryHist[RetryBucket(retries)]++
+	if retries > r.MaxRetries {
+		r.MaxRetries = retries
+	}
+}
+
 // CPU accumulates per-processor cycle and access counts.
 type CPU struct {
 	Busy       uint64 // computation + L1 hit cycles
@@ -212,6 +290,10 @@ type Stats struct {
 
 	// Tagging activity.
 	Taggings uint64
+
+	// Resil is the resilient transaction layer's accounting (NACK/retry/
+	// message-fault recovery); all-zero on classic runs.
+	Resil Resilience
 }
 
 // New returns a Stats sized for n processors.

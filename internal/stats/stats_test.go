@@ -156,3 +156,40 @@ func TestEnumStringsNonEmpty(t *testing.T) {
 		t.Error("class strings wrong")
 	}
 }
+
+func TestRetryBucket(t *testing.T) {
+	cases := []struct {
+		retries uint64
+		bucket  int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 3}, {7, 3},
+		{8, 4}, {15, 4}, {16, 5}, {1000, 5},
+	}
+	for _, tc := range cases {
+		if got := RetryBucket(tc.retries); got != tc.bucket {
+			t.Errorf("RetryBucket(%d) = %d, want %d", tc.retries, got, tc.bucket)
+		}
+	}
+	if len(RetryBucketLabels) != NumRetryBuckets {
+		t.Errorf("label count %d != bucket count %d", len(RetryBucketLabels), NumRetryBuckets)
+	}
+}
+
+func TestResilienceNotes(t *testing.T) {
+	var r Resilience
+	r.NoteBackoff(100)
+	r.NoteBackoff(400)
+	r.NoteBackoff(50)
+	if r.BackoffCycles != 550 || r.MaxBackoff != 400 {
+		t.Errorf("backoff accounting: total=%d max=%d", r.BackoffCycles, r.MaxBackoff)
+	}
+	r.NoteRecovered(1)
+	r.NoteRecovered(5)
+	r.NoteRecovered(3)
+	if r.MaxRetries != 5 {
+		t.Errorf("MaxRetries = %d, want 5", r.MaxRetries)
+	}
+	if r.RetryHist[0] != 1 || r.RetryHist[2] != 1 || r.RetryHist[3] != 1 {
+		t.Errorf("histogram wrong: %v", r.RetryHist)
+	}
+}

@@ -1,6 +1,7 @@
 package lsnuma
 
 import (
+	"context"
 	"fmt"
 
 	"lsnuma/internal/engine"
@@ -27,7 +28,7 @@ func Workloads() []string { return registry.Names() }
 // Run simulates the named workload at the given scale under cfg and
 // returns the full measurement set.
 func Run(cfg Config, workloadName string, scale Scale) (*Result, error) {
-	res, _, err := runNamed(cfg, workloadName, scale)
+	res, _, err := runNamed(context.Background(), cfg, workloadName, scale)
 	return res, err
 }
 
@@ -35,27 +36,33 @@ func Run(cfg Config, workloadName string, scale Scale) (*Result, error) {
 // paths (RunAll's retry escalation) can read crash diagnostics — the
 // last-ops ring — off the dead machine. The machine is nil when the
 // failure precedes machine construction.
-func runNamed(cfg Config, workloadName string, scale Scale) (*Result, *engine.Machine, error) {
+func runNamed(ctx context.Context, cfg Config, workloadName string, scale Scale) (*Result, *engine.Machine, error) {
 	w, err := registry.New(workloadName, scale, cfg.Nodes)
 	if err != nil {
 		return nil, nil, err
 	}
-	return runMachine(cfg, w, scale.String())
+	return runMachine(ctx, cfg, w, scale.String())
 }
 
 // RunWorkload simulates an arbitrary workload (including user-defined
 // ones implementing the workload interface via RunPrograms).
 func RunWorkload(cfg Config, w workload.Workload, scaleName string) (*Result, error) {
-	res, _, err := runMachine(cfg, w, scaleName)
+	res, _, err := runMachine(context.Background(), cfg, w, scaleName)
 	return res, err
 }
 
 // runMachine builds, runs and measures one simulation point, returning
-// the machine even when the run fails (for diagnostics).
-func runMachine(cfg Config, w workload.Workload, scaleName string) (*Result, *engine.Machine, error) {
+// the machine even when the run fails (for diagnostics). When ctx is
+// cancellable, the machine polls it between operations and aborts the
+// run with an engine.CancelledError once it expires — the hook behind
+// RunOptions.PointTimeout.
+func runMachine(ctx context.Context, cfg Config, w workload.Workload, scaleName string) (*Result, *engine.Machine, error) {
 	ec, err := cfg.engineConfig()
 	if err != nil {
 		return nil, nil, err
+	}
+	if ctx != nil && ctx.Done() != nil {
+		ec.Cancel = ctx.Err
 	}
 	m, err := engine.NewMachine(ec)
 	if err != nil {

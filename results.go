@@ -65,6 +65,13 @@ type Result struct {
 	// (the paper's long runs are effectively cold-free).
 	FalseSharingSteadyFrac float64
 
+	// Resil summarizes the resilient transaction layer's activity: NACKs
+	// from saturated home buffers, retries with their backoff-induced
+	// latency, the per-transaction retry histogram, and injected message
+	// faults survived. All-zero on classic (reliable, unlimited-buffer)
+	// runs.
+	Resil ResilRow
+
 	// Access counts.
 	Loads, Stores uint64
 
@@ -77,6 +84,31 @@ type Result struct {
 type CPURow struct {
 	Busy, ReadStall, WriteStall uint64
 	Loads, Stores               uint64
+}
+
+// ResilRow is the resilience measurement block of a Result.
+type ResilRow struct {
+	// Nacks counts NACKs from saturated home transaction buffers
+	// (Config.DirMSHRs); Retries counts request retransmissions from all
+	// causes, of which TimeoutResends recovered lost messages.
+	Nacks          uint64
+	Retries        uint64
+	TimeoutResends uint64
+	// Backoff-induced latency: total cycles spent waiting between
+	// retries, and the largest single wait.
+	BackoffCycles uint64
+	MaxBackoff    uint64
+	// MaxRetries is the worst per-transaction retry count; MeanRetries is
+	// retries per global transaction; RetryHist buckets recovered
+	// transactions by retry count (1, 2, 3, 4-7, 8-15, >=16).
+	MaxRetries  uint64
+	MeanRetries float64
+	RetryHist   [6]uint64
+	// Injected message-fault activity (Config.Faults drop-msg/dup-msg/
+	// reorder-msg).
+	DroppedMsgs   uint64
+	DupMsgs       uint64
+	ReorderedMsgs uint64
 }
 
 // SourceRow is one column of Table 2.
@@ -146,6 +178,17 @@ func fillResult(r *Result, st *stats.Stats, seq *classify.Sequences, fs *classif
 	r.EliminatedOwnership = st.EliminatedOwnership
 	r.ExclusiveGrants = st.ExclusiveGrants
 	r.FailedPredictions = st.FailedPredictions
+
+	rs := &st.Resil
+	r.Resil = ResilRow{
+		Nacks: rs.Nacks, Retries: rs.Retries, TimeoutResends: rs.TimeoutResends,
+		BackoffCycles: rs.BackoffCycles, MaxBackoff: rs.MaxBackoff,
+		MaxRetries: rs.MaxRetries, RetryHist: rs.RetryHist,
+		DroppedMsgs: rs.DroppedMsgs, DupMsgs: rs.DupMsgs, ReorderedMsgs: rs.ReorderedMsgs,
+	}
+	if txns := st.GlobalReadMisses() + st.GlobalWrites(); txns > 0 {
+		r.Resil.MeanRetries = float64(rs.Retries) / float64(txns)
+	}
 
 	if seq != nil {
 		for s := memory.Source(0); s < memory.NumSources; s++ {

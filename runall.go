@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"lsnuma/internal/engine"
 	"lsnuma/internal/runner"
@@ -58,9 +59,14 @@ type ReproBundle struct {
 	// Stack is the panic stack trace when the failure was a panic
 	// (empty for clean errors such as coherence violations).
 	Stack string
+	// Diagnosis is the forward-progress watchdog's full report when the
+	// failure was a starvation (engine.StarvationError): the stuck block,
+	// its requester set and the retry histogram. Empty otherwise.
+	Diagnosis string
 	// Retry records the outcome of the automatic retry with the online
 	// invariant checker enabled (empty when no retry ran — e.g. the
-	// original run already had checking on, or RunOptions.NoRetry).
+	// original run already had checking on, the failure was already
+	// structured, or RunOptions.NoRetry).
 	Retry string
 	// LastOps is the tail of the retry run's operation ring: the memory
 	// operations serviced just before the failure (empty when the retry
@@ -77,6 +83,11 @@ type RunOptions struct {
 	// failed points (the retry doubles the cost of a failing cell; bench
 	// harnesses and differential tests want the raw failure).
 	NoRetry bool
+	// PointTimeout bounds each point's wall-clock runtime. An expired
+	// point aborts between operations with an engine.CancelledError
+	// wrapping context.DeadlineExceeded and is reported as an annotated
+	// hole in sweep reports, not retried. Zero means no per-point bound.
+	PointTimeout time.Duration
 }
 
 // reproRingSize is the operation-ring length used by the automatic
@@ -87,8 +98,8 @@ const reproRingSize = 32
 // — unless disabled — retries once with the online invariant checker
 // enabled, so a cryptic panic gets a second chance to be localized as a
 // structured coherence violation with an operation trail.
-func runPointDiag(pt Point, noRetry bool) (*Result, *ReproBundle, error) {
-	res, _, err := runNamed(pt.Config, pt.Workload, pt.Scale)
+func runPointDiag(ctx context.Context, pt Point, noRetry bool) (*Result, *ReproBundle, error) {
+	res, _, err := runNamed(ctx, pt.Config, pt.Workload, pt.Scale)
 	if err == nil {
 		return res, nil, nil
 	}
@@ -97,7 +108,16 @@ func runPointDiag(pt Point, noRetry bool) (*Result, *ReproBundle, error) {
 	if errors.As(err, &ep) {
 		bundle.Stack = string(ep.Stack)
 	}
-	if noRetry || (pt.Config.Check != "" && pt.Config.Check != CheckOff) {
+	var starve *engine.StarvationError
+	if errors.As(err, &starve) {
+		bundle.Diagnosis = starve.Diagnosis()
+	}
+	// A starvation report or an expired per-point deadline is already a
+	// structured, localized failure: the checks-on retry would only burn a
+	// second timeout (or re-derive what the watchdog said), so skip it.
+	structured := bundle.Diagnosis != "" ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+	if noRetry || structured || (pt.Config.Check != "" && pt.Config.Check != CheckOff) {
 		return nil, bundle, err
 	}
 	rcfg := pt.Config
@@ -105,7 +125,7 @@ func runPointDiag(pt Point, noRetry bool) (*Result, *ReproBundle, error) {
 	if rcfg.RecordOps == 0 {
 		rcfg.RecordOps = reproRingSize
 	}
-	_, m, rerr := runNamed(rcfg, pt.Workload, pt.Scale)
+	_, m, rerr := runNamed(ctx, rcfg, pt.Workload, pt.Scale)
 	if rerr == nil {
 		bundle.Retry = "checks-on retry succeeded: the failure did not reproduce under CheckTouched"
 		return nil, bundle, err
@@ -141,8 +161,8 @@ func RunAll(ctx context.Context, points []Point, opt RunOptions) ([]PointResult,
 	for i := range points {
 		out[i].Point = points[i]
 	}
-	errs, err := runner.Run(ctx, len(points), opt.Parallelism, func(ctx context.Context, i int) error {
-		res, bundle, err := runPointDiag(points[i], opt.NoRetry)
+	errs, err := runner.RunEach(ctx, len(points), opt.Parallelism, opt.PointTimeout, func(ctx context.Context, i int) error {
+		res, bundle, err := runPointDiag(ctx, points[i], opt.NoRetry)
 		if err != nil {
 			out[i].Err = err
 			out[i].Repro = bundle
