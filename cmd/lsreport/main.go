@@ -39,7 +39,13 @@ var (
 	retryFlag    = flag.String("retry", "", "NACK/loss retry policy: max:N,base:C,cap:C,jitter:S (empty = retries off)")
 	cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	cacheFlag    = flag.Bool("cache", false, "memoize point results in the persistent result cache (default dir .lscache)")
+	cacheDir     = flag.String("cache-dir", "", "result cache directory (implies -cache)")
+	noCache      = flag.Bool("no-cache", false, "disable the result cache even if -cache/-cache-dir is given")
 )
+
+// resultCache is the persistent point-result cache (nil when disabled).
+var resultCache *lsnuma.ResultCache
 
 // checkLevel is the parsed -check flag, applied to every simulation
 // point by robust.
@@ -76,6 +82,12 @@ func main() {
 
 	if checkLevel, err = lsnuma.ParseCheckLevel(*checkFlag); err != nil {
 		fatal(err)
+	}
+
+	if (*cacheFlag || *cacheDir != "") && !*noCache {
+		if resultCache, err = lsnuma.OpenResultCache(*cacheDir); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *timeout > 0 {
@@ -118,11 +130,23 @@ func main() {
 // partial report is distinguishable from a clean one.
 func exit() {
 	stopProfiles()
+	printCacheStats()
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "lsreport: %d simulation point(s) failed (output above is partial)\n", failed)
 		os.Exit(1)
 	}
 	os.Exit(0)
+}
+
+// printCacheStats summarizes result-cache traffic on stderr (stderr so
+// that warm and cold invocations keep byte-identical stdout).
+func printCacheStats() {
+	if resultCache == nil {
+		return
+	}
+	s := resultCache.Stats()
+	fmt.Fprintf(os.Stderr, "lsreport: cache hits=%d misses=%d skips=%d errors=%d\n",
+		s.Hits, s.Misses, s.Skips, s.Errors)
 }
 
 func scale() lsnuma.Scale {
@@ -140,7 +164,7 @@ func scale() lsnuma.Scale {
 }
 
 func opts() lsnuma.RunOptions {
-	return lsnuma.RunOptions{Parallelism: *parallelism, PointTimeout: *pointTimeout}
+	return lsnuma.RunOptions{Parallelism: *parallelism, PointTimeout: *pointTimeout, Cache: resultCache}
 }
 
 // robust applies the report-wide -check / -faults / -mshrs / -retry flags

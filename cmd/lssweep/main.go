@@ -40,8 +40,19 @@ func main() {
 		faults       = flag.String("faults", "", "inject protocol/message faults into every cell: class[@arg][:seed],...")
 		mshrs        = flag.Int("mshrs", 0, "per-home directory transaction buffers (0 = unlimited)")
 		retry        = flag.String("retry", "", "NACK/loss retry policy: max:N,base:C,cap:C,jitter:S (empty = retries off)")
+		cacheFlag    = flag.Bool("cache", false, "memoize point results in the persistent result cache (default dir .lscache)")
+		cacheDir     = flag.String("cache-dir", "", "result cache directory (implies -cache)")
+		noCache      = flag.Bool("no-cache", false, "disable the result cache even if -cache/-cache-dir is given")
 	)
 	flag.Parse()
+
+	var resultCache *lsnuma.ResultCache
+	if (*cacheFlag || *cacheDir != "") && !*noCache {
+		var err error
+		if resultCache, err = lsnuma.OpenResultCache(*cacheDir); err != nil {
+			fatal(err)
+		}
+	}
 
 	var scale lsnuma.Scale
 	switch *scaleName {
@@ -84,7 +95,7 @@ func main() {
 	// annotate the holes with their error and diagnostic bundle, and exit
 	// non-zero at the end if anything failed.
 	results, runErr := lsnuma.Sweep(ctx, base, param, *workloadName, scale,
-		lsnuma.RunOptions{Parallelism: *parallelism, PointTimeout: *pointTimeout})
+		lsnuma.RunOptions{Parallelism: *parallelism, PointTimeout: *pointTimeout, Cache: resultCache})
 
 	failed := 0
 	for _, pt := range results {
@@ -110,6 +121,13 @@ func main() {
 					100*float64(r.GlobalReadMisses())/float64(base.GlobalReadMisses()))
 			}
 		}
+	}
+	// Cache traffic goes to stderr so warm and cold invocations keep
+	// byte-identical stdout (the CI cached-sweep job diffs it).
+	if resultCache != nil {
+		s := resultCache.Stats()
+		fmt.Fprintf(os.Stderr, "lssweep: cache hits=%d misses=%d skips=%d errors=%d\n",
+			s.Hits, s.Misses, s.Skips, s.Errors)
 	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "lssweep: %d cell(s) failed (results above are partial)\n", failed)

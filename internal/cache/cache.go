@@ -12,6 +12,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"lsnuma/internal/memory"
 )
@@ -86,12 +87,17 @@ type line struct {
 	lru   uint64
 }
 
-// Cache is one set-associative cache level.
+// Cache is one set-associative cache level. Lines of all sets live in one
+// contiguous array indexed by set*assoc+way; set selection is two shifts
+// and a mask (block size and set count are powers of two), keeping the
+// per-access lookup free of hardware divides and pointer chasing.
 type Cache struct {
-	cfg     Config
-	numSets uint64
-	lines   []line
-	clock   uint64
+	cfg        Config
+	numSets    uint64
+	blockShift uint // log2(cfg.BlockSize)
+	assoc      uint64
+	lines      []line
+	clock      uint64
 }
 
 // New builds a cache from cfg. It panics on an invalid configuration;
@@ -102,9 +108,11 @@ func New(cfg Config) *Cache {
 	}
 	sets := cfg.Size / (cfg.BlockSize * uint64(cfg.Assoc))
 	return &Cache{
-		cfg:     cfg,
-		numSets: sets,
-		lines:   make([]line, sets*uint64(cfg.Assoc)),
+		cfg:        cfg,
+		numSets:    sets,
+		blockShift: uint(bits.TrailingZeros64(cfg.BlockSize)),
+		assoc:      uint64(cfg.Assoc),
+		lines:      make([]line, sets*uint64(cfg.Assoc)),
 	}
 }
 
@@ -112,9 +120,18 @@ func New(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 func (c *Cache) set(block memory.Addr) []line {
-	idx := (uint64(block) / c.cfg.BlockSize) & (c.numSets - 1)
-	base := idx * uint64(c.cfg.Assoc)
-	return c.lines[base : base+uint64(c.cfg.Assoc)]
+	idx := (uint64(block) >> c.blockShift) & (c.numSets - 1)
+	base := idx * c.assoc
+	return c.lines[base : base+c.assoc]
+}
+
+// Reset returns the cache to its freshly constructed state — all lines
+// invalid and the LRU clock at zero — reusing the line array. A Reset
+// cache behaves bit-identically to a new one (the clock restart matters:
+// LRU decisions compare clock values).
+func (c *Cache) Reset() {
+	clear(c.lines)
+	c.clock = 0
 }
 
 // Lookup returns the state of block, touching LRU on hit. Invalid means

@@ -23,6 +23,22 @@ type seqState struct {
 	readSeq      uint64        // global access sequence number of the opening read
 }
 
+// Per-block detector state is stored the same way the directory stores
+// its entries: dense pages of values indexed by block index, with a
+// presence bitset for lazy initialization. The detector sits on the
+// global-access hot path, so block lookups must not hash or allocate;
+// a page is three allocations per seqPageSize blocks instead of one-plus
+// per block with the old map.
+const (
+	seqPageSize  = 256 // blocks per page; power of two
+	seqPageShift = 8
+)
+
+type seqPage struct {
+	present [seqPageSize / 64]uint64
+	states  [seqPageSize]seqState
+}
+
 // SourceCounters accumulates Table 2 per source class.
 type SourceCounters struct {
 	// GlobalWrites counts global write actions (including ones the
@@ -89,7 +105,7 @@ func (c Coverage) MigratoryCoverage() float64 {
 // under the baseline protocol would have been a global write action).
 type Sequences struct {
 	layout  memory.Layout
-	blocks  map[uint64]*seqState
+	pages   []*seqPage
 	Sources [memory.NumSources]SourceCounters
 	Cov     Coverage
 
@@ -133,17 +149,26 @@ func distanceBucket(d uint64) int {
 
 // NewSequences returns an empty detector for the given layout.
 func NewSequences(layout memory.Layout) *Sequences {
-	return &Sequences{layout: layout, blocks: make(map[uint64]*seqState)}
+	return &Sequences{layout: layout}
 }
 
 func (s *Sequences) state(block memory.Addr) *seqState {
 	idx := s.layout.BlockIndex(block)
-	st, ok := s.blocks[idx]
-	if !ok {
-		st = &seqState{lastAccessor: memory.NoNode, lastSeqOwner: memory.NoNode}
-		s.blocks[idx] = st
+	pi := idx >> seqPageShift
+	if pi >= uint64(len(s.pages)) {
+		s.pages = append(s.pages, make([]*seqPage, pi+1-uint64(len(s.pages)))...)
 	}
-	return st
+	pg := s.pages[pi]
+	if pg == nil {
+		pg = &seqPage{}
+		s.pages[pi] = pg
+	}
+	off := idx & (seqPageSize - 1)
+	if w, bit := off>>6, off&63; pg.present[w]&(1<<bit) == 0 {
+		pg.present[w] |= 1 << bit
+		pg.states[off] = seqState{lastAccessor: memory.NoNode, lastSeqOwner: memory.NoNode}
+	}
+	return &pg.states[off]
 }
 
 // GlobalRead records a global read action by cpu on the block containing

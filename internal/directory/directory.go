@@ -11,6 +11,7 @@ package directory
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 
 	"lsnuma/internal/memory"
 )
@@ -162,33 +163,117 @@ func (e *Entry) CheckInvariant() error {
 	return nil
 }
 
+// minEntriesPerPage bounds directory pages from below so that large
+// simulated block sizes (few blocks per physical page) still amortize the
+// page allocation, and so a page's presence bitset is always at least one
+// whole uint64 word.
+const minEntriesPerPage = 256
+
+// page is one lazily allocated directory page: a dense array of Entry
+// values with a presence bitset. Pages are fixed-size once allocated, so
+// &entries[i] pointers handed out by Directory.Entry stay stable for the
+// lifetime of the directory (only the page spine grows).
+type page struct {
+	present []uint64
+	entries []Entry
+}
+
 // Directory holds the entries of all blocks, created lazily. A real
 // machine banks the directory per home node; for simulation a single table
 // indexed by block suffices — home-node attribution happens in the network
 // and timing model.
+//
+// The default storage is data-oriented: Entry values live in dense,
+// address-indexed pages sized off the layout (at least minEntriesPerPage
+// blocks per page), with presence tracked by a uint64 bitset per page.
+// The common-case lookup is two shifts and a bounds check — no hashing, no
+// per-entry allocation, no pointer chasing through map buckets. A legacy
+// map[uint64]*Entry backend (NewMap) is retained for differential testing;
+// both backends yield identical entries and iterate in the same order.
 type Directory struct {
-	layout  memory.Layout
+	layout     memory.Layout
+	init       func(*Entry) // protocol hook: default tag state for new blocks
+	blockShift uint         // log2(layout.BlockSize)
+
+	// Flat paged backend (used when entries == nil).
+	pages     []*page
+	pageShift uint   // log2(entries per page)
+	pageMask  uint64 // entries per page - 1
+	count     int
+
+	// Legacy map backend (used when entries != nil).
 	entries map[uint64]*Entry
-	init    func(*Entry) // protocol hook: default tag state for new blocks
 }
 
-// New returns an empty directory. The init hook, if non-nil, runs on each
-// freshly created entry (used by the §5.5 default-tagging ablation).
+// New returns an empty directory with the flat paged storage. The init
+// hook, if non-nil, runs on each freshly created entry (used by the §5.5
+// default-tagging ablation).
 func New(layout memory.Layout, init func(*Entry)) *Directory {
-	return &Directory{layout: layout, entries: make(map[uint64]*Entry), init: init}
+	per := layout.PageSize / layout.BlockSize
+	if per < minEntriesPerPage {
+		per = minEntriesPerPage
+	}
+	return &Directory{
+		layout:     layout,
+		init:       init,
+		blockShift: uint(bits.TrailingZeros64(layout.BlockSize)),
+		pageShift:  uint(bits.TrailingZeros64(per)),
+		pageMask:   per - 1,
+	}
 }
+
+// NewMap returns an empty directory backed by the original map storage.
+// It is retained only for differential testing against the flat layout
+// (engine Config.MapDirectory); simulation results are identical.
+func NewMap(layout memory.Layout, init func(*Entry)) *Directory {
+	return &Directory{
+		layout:     layout,
+		init:       init,
+		blockShift: uint(bits.TrailingZeros64(layout.BlockSize)),
+		entries:    make(map[uint64]*Entry),
+	}
+}
+
+// SetInit replaces the new-entry hook. Only meaningful on an empty (or
+// freshly Reset) directory; used when a pooled machine is retargeted at a
+// different protocol.
+func (d *Directory) SetInit(init func(*Entry)) { d.init = init }
 
 // Entry returns the directory entry for the block containing addr,
-// creating it in the Uncached state on first touch.
+// creating it in the Uncached state on first touch. The returned pointer
+// stays valid (and keeps aliasing the same block) until Reset.
 func (d *Directory) Entry(block memory.Addr) *Entry {
-	idx := d.layout.BlockIndex(block)
-	e, ok := d.entries[idx]
-	if !ok {
-		e = &Entry{Owner: memory.NoNode, LR: memory.NoNode, LastWriter: memory.NoNode}
+	idx := uint64(block) >> d.blockShift
+	if d.entries != nil {
+		e, ok := d.entries[idx]
+		if !ok {
+			e = &Entry{Owner: memory.NoNode, LR: memory.NoNode, LastWriter: memory.NoNode}
+			if d.init != nil {
+				d.init(e)
+			}
+			d.entries[idx] = e
+		}
+		return e
+	}
+	pi := idx >> d.pageShift
+	if pi >= uint64(len(d.pages)) {
+		d.pages = append(d.pages, make([]*page, pi+1-uint64(len(d.pages)))...)
+	}
+	pg := d.pages[pi]
+	if pg == nil {
+		per := d.pageMask + 1
+		pg = &page{present: make([]uint64, per/64), entries: make([]Entry, per)}
+		d.pages[pi] = pg
+	}
+	off := idx & d.pageMask
+	e := &pg.entries[off]
+	if w, bit := off>>6, off&63; pg.present[w]&(1<<bit) == 0 {
+		pg.present[w] |= 1 << bit
+		e.Owner, e.LR, e.LastWriter = memory.NoNode, memory.NoNode, memory.NoNode
 		if d.init != nil {
 			d.init(e)
 		}
-		d.entries[idx] = e
+		d.count++
 	}
 	return e
 }
@@ -197,17 +282,76 @@ func (d *Directory) Entry(block memory.Addr) *Entry {
 // exists. Unlike Entry it never creates an entry, so invariant checkers
 // can probe the directory without perturbing it.
 func (d *Directory) Lookup(block memory.Addr) (*Entry, bool) {
-	e, ok := d.entries[d.layout.BlockIndex(block)]
-	return e, ok
+	idx := uint64(block) >> d.blockShift
+	if d.entries != nil {
+		e, ok := d.entries[idx]
+		return e, ok
+	}
+	pi := idx >> d.pageShift
+	if pi >= uint64(len(d.pages)) || d.pages[pi] == nil {
+		return nil, false
+	}
+	pg := d.pages[pi]
+	off := idx & d.pageMask
+	if pg.present[off>>6]&(1<<(off&63)) == 0 {
+		return nil, false
+	}
+	return &pg.entries[off], true
 }
 
 // Len returns the number of blocks with directory state.
-func (d *Directory) Len() int { return len(d.entries) }
-
-// ForEach visits every entry (order unspecified). Intended for global
-// invariant checks in tests.
-func (d *Directory) ForEach(fn func(blockIndex uint64, e *Entry)) {
-	for idx, e := range d.entries {
-		fn(idx, e)
+func (d *Directory) Len() int {
+	if d.entries != nil {
+		return len(d.entries)
 	}
+	return d.count
+}
+
+// ForEach visits every entry in ascending block order. The ordering is a
+// contract: repro-bundle snapshots, check reports and fault-target
+// selection iterate the directory and must be deterministic across runs
+// and storage backends.
+func (d *Directory) ForEach(fn func(blockIndex uint64, e *Entry)) {
+	if d.entries != nil {
+		idxs := make([]uint64, 0, len(d.entries))
+		for idx := range d.entries {
+			idxs = append(idxs, idx)
+		}
+		slices.Sort(idxs)
+		for _, idx := range idxs {
+			fn(idx, d.entries[idx])
+		}
+		return
+	}
+	for pi, pg := range d.pages {
+		if pg == nil {
+			continue
+		}
+		base := uint64(pi) << d.pageShift
+		for w, word := range pg.present {
+			for word != 0 {
+				off := uint64(w)<<6 + uint64(bits.TrailingZeros64(word))
+				fn(base+off, &pg.entries[off])
+				word &= word - 1
+			}
+		}
+	}
+}
+
+// Reset returns the directory to its freshly constructed state while
+// keeping the allocated pages (or map) for reuse, so a pooled machine can
+// re-run a sweep point without reallocating directory storage.
+func (d *Directory) Reset() {
+	if d.entries != nil {
+		clear(d.entries)
+		return
+	}
+	for _, pg := range d.pages {
+		if pg == nil {
+			continue
+		}
+		clear(pg.present)
+		clear(pg.entries)
+	}
+	d.count = 0
 }

@@ -214,3 +214,187 @@ func TestForEach(t *testing.T) {
 		t.Errorf("ForEach visited %d entries", n)
 	}
 }
+
+// constructors builds both directory backends, so every storage-contract
+// test runs against the flat paged layout and the legacy map.
+func constructors() map[string]func(memory.Layout, func(*Entry)) *Directory {
+	return map[string]func(memory.Layout, func(*Entry)) *Directory{
+		"flat": New,
+		"map":  NewMap,
+	}
+}
+
+// TestForEachAscendingOrder is the regression test for the ordering
+// contract: iteration must yield strictly ascending block indices on both
+// backends, no matter the insertion order. (The map backend used to
+// iterate in Go map order, making repro bundles and fault-target
+// selection nondeterministic.)
+func TestForEachAscendingOrder(t *testing.T) {
+	// Insertion order deliberately scrambled, spanning several pages
+	// (4096/16 = 256 entries per page) and bitset words.
+	blocks := []memory.Addr{0x7f30, 0x10, 0x4000, 0x20f0, 0x00, 0x1010, 0x9ff0, 0x40, 0x8000}
+	for name, ctor := range constructors() {
+		t.Run(name, func(t *testing.T) {
+			d := ctor(layout(t), nil)
+			for _, b := range blocks {
+				d.Entry(b)
+			}
+			var got []uint64
+			d.ForEach(func(idx uint64, e *Entry) { got = append(got, idx) })
+			if len(got) != len(blocks) {
+				t.Fatalf("ForEach visited %d entries, want %d", len(got), len(blocks))
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					t.Fatalf("ForEach order not strictly ascending: %v", got)
+				}
+			}
+		})
+	}
+}
+
+// TestBackendEquivalence drives both backends through an identical
+// mutation sequence and requires identical Len, Lookup and ForEach views.
+func TestBackendEquivalence(t *testing.T) {
+	l := layout(t)
+	init := func(e *Entry) { e.LS = true }
+	flat, mp := New(l, init), NewMap(l, init)
+	// A deterministic pseudo-random walk of touches and mutations.
+	x := uint64(12345)
+	for i := 0; i < 2000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		block := memory.Addr((x>>16)%4096) * 16
+		ef, em := flat.Entry(block), mp.Entry(block)
+		if *ef != *em {
+			t.Fatalf("entries diverge at %#x: flat %+v map %+v", block, *ef, *em)
+		}
+		switch i % 3 {
+		case 0:
+			ef.State, em.State = Shared, Shared
+			ef.Sharers.Add(memory.NodeID(i % 4))
+			em.Sharers.Add(memory.NodeID(i % 4))
+		case 1:
+			ef.State, em.State = Dirty, Dirty
+			ef.Owner, em.Owner = memory.NodeID(i%4), memory.NodeID(i%4)
+			ef.Sharers, em.Sharers = 0, 0
+		}
+	}
+	if flat.Len() != mp.Len() {
+		t.Fatalf("Len diverges: flat %d map %d", flat.Len(), mp.Len())
+	}
+	type view struct {
+		idx uint64
+		e   Entry
+	}
+	var vf, vm []view
+	flat.ForEach(func(idx uint64, e *Entry) { vf = append(vf, view{idx, *e}) })
+	mp.ForEach(func(idx uint64, e *Entry) { vm = append(vm, view{idx, *e}) })
+	if len(vf) != len(vm) {
+		t.Fatalf("ForEach sizes diverge: flat %d map %d", len(vf), len(vm))
+	}
+	for i := range vf {
+		if vf[i] != vm[i] {
+			t.Fatalf("ForEach diverges at %d: flat %+v map %+v", i, vf[i], vm[i])
+		}
+	}
+	// Lookup of an untouched block must not create on either backend.
+	probe := memory.Addr(4096 * 16 * 4)
+	if _, ok := flat.Lookup(probe); ok {
+		t.Error("flat Lookup invented an entry")
+	}
+	if _, ok := mp.Lookup(probe); ok {
+		t.Error("map Lookup invented an entry")
+	}
+	if flat.Len() != mp.Len() {
+		t.Error("Lookup changed Len")
+	}
+}
+
+// TestEntryPointerStability verifies the flat backend's aliasing
+// contract: pointers returned by Entry stay valid and keep aliasing the
+// same block while later touches allocate new pages and grow the spine.
+func TestEntryPointerStability(t *testing.T) {
+	d := New(layout(t), nil)
+	e := d.Entry(0x40)
+	e.State = Dirty
+	e.Owner = 2
+	// Touch blocks far beyond the first page, forcing spine growth.
+	for i := 0; i < 10_000; i++ {
+		d.Entry(memory.Addr(i) * 16 * 300)
+	}
+	if d.Entry(0x40) != e {
+		t.Fatal("entry pointer changed after spine growth")
+	}
+	if e.State != Dirty || e.Owner != 2 {
+		t.Fatalf("entry contents changed: %+v", e)
+	}
+}
+
+// TestReset verifies Reset on both backends: the directory is empty,
+// re-created entries are fresh (init hook re-applied), and on the flat
+// backend storage is reused.
+func TestReset(t *testing.T) {
+	for name, ctor := range constructors() {
+		t.Run(name, func(t *testing.T) {
+			d := ctor(layout(t), func(e *Entry) { e.Migratory = true })
+			e := d.Entry(0x100)
+			e.State = Dirty
+			e.Owner = 1
+			e.Migratory = false
+			d.Entry(0x5000)
+			d.Reset()
+			if d.Len() != 0 {
+				t.Fatalf("Len after Reset = %d", d.Len())
+			}
+			if _, ok := d.Lookup(0x100); ok {
+				t.Fatal("entry survived Reset")
+			}
+			n := 0
+			d.ForEach(func(uint64, *Entry) { n++ })
+			if n != 0 {
+				t.Fatalf("ForEach visited %d entries after Reset", n)
+			}
+			e2 := d.Entry(0x100)
+			if e2.State != Uncached || e2.Owner != memory.NoNode || !e2.Migratory {
+				t.Fatalf("re-created entry not fresh: %+v", e2)
+			}
+		})
+	}
+}
+
+// TestSetInit verifies the protocol-hook swap used when a pooled machine
+// is retargeted at a different protocol.
+func TestSetInit(t *testing.T) {
+	d := New(layout(t), func(e *Entry) { e.LS = true })
+	if !d.Entry(0x10).LS {
+		t.Fatal("initial hook not applied")
+	}
+	d.Reset()
+	d.SetInit(func(e *Entry) { e.Migratory = true })
+	e := d.Entry(0x10)
+	if e.LS || !e.Migratory {
+		t.Fatalf("swapped hook not applied: %+v", e)
+	}
+}
+
+// TestLargeBlockLayout exercises the minEntriesPerPage clamp: with
+// 256-byte blocks a physical page holds only 16 blocks, far below the
+// clamp, and indexing must still be exact.
+func TestLargeBlockLayout(t *testing.T) {
+	l, err := memory.NewLayout(4096, 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(l, nil)
+	a := d.Entry(0x000)
+	b := d.Entry(0x100)
+	if a == b {
+		t.Fatal("adjacent 256B blocks shared an entry")
+	}
+	if d.Entry(0x0ff) != a || d.Entry(0x1ff) != b {
+		t.Fatal("intra-block addresses resolved to wrong entries")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}

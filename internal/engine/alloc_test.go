@@ -47,6 +47,84 @@ func TestHotPathAllocs(t *testing.T) {
 	}
 }
 
+// TestDirectoryAllocs guards the flat paged directory against per-block
+// allocation: touching N distinct blocks must allocate pages (one per
+// ~256 blocks), not entries — the marginal allocation cost per block is a
+// small fraction, where the map backend paid one *Entry plus map growth
+// per block.
+func TestDirectoryAllocs(t *testing.T) {
+	run := func(blocks int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			m, err := NewMachine(testConfig(protocol.LS, protocol.Variant{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			size := uint64(blocks * 16)
+			buf := m.Alloc().Alloc("buf", size, 0)
+			prog := func(p *Proc) {
+				for i := 0; i < blocks; i++ {
+					p.Read(buf + memory.Addr(i*16))
+				}
+			}
+			if err := m.Run([]Program{prog}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := run(512)
+	big := run(8192)
+	perBlock := (big - small) / float64(8192-512)
+	t.Logf("directory marginal allocs/block=%.4f", perBlock)
+	// One page struct + two slices per 256 blocks plus cache-fill noise:
+	// well under 0.1; the map backend sat near 1.2.
+	if perBlock > 0.1 {
+		t.Errorf("directory allocates %.4f allocations per touched block, want paged (<= 0.1)", perBlock)
+	}
+}
+
+// TestResetRunAllocs guards the machine-reuse path: Reset + Run on a warm
+// machine must allocate a small fraction of what NewMachine + Run costs,
+// since every array (caches, directory pages, stats, op pool) is retained.
+func TestResetRunAllocs(t *testing.T) {
+	cfg := testConfig(protocol.LS, protocol.Variant{})
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exercise := func() {
+		buf := m.Alloc().Alloc("buf", 4096, 0)
+		prog := func(p *Proc) {
+			for i := 0; i < 2000; i++ {
+				a := buf + memory.Addr((i*memory.WordSize)%4096)
+				p.Read(a)
+				p.Write(a)
+			}
+		}
+		if err := m.Run([]Program{prog}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exercise() // warm the machine before measuring
+	reused := testing.AllocsPerRun(3, func() {
+		if err := m.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		exercise()
+	})
+	fresh := testing.AllocsPerRun(3, func() {
+		fm, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m = fm
+		exercise()
+	})
+	t.Logf("allocs: fresh build+run=%.0f, reset+run=%.0f (%.1f%%)", fresh, reused, 100*reused/fresh)
+	if reused > fresh/2 {
+		t.Errorf("Reset+Run allocates %.0f, want well under half of a fresh build+run (%.0f)", reused, fresh)
+	}
+}
+
 // TestStraddlingAccessAllocs guards the block-straddling path: the split
 // scratch buffer is reused, so multi-block accesses must not allocate per
 // access either.

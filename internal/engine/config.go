@@ -150,7 +150,19 @@ type Config struct {
 	// a non-nil return aborts the run with a *CancelledError wrapping it.
 	// Used for per-point wall-clock deadlines (context plumbing).
 	Cancel func() error
+	// MapDirectory selects the seed's map[uint64]*Entry directory storage
+	// instead of the default flat paged layout. The two are bit-identical
+	// in simulated behaviour; the map path is kept for differential
+	// testing, like SerialSchedule for the scheduler.
+	MapDirectory bool
 }
+
+// SchemaVersion identifies the generation of simulated semantics: it is
+// part of every persistent result-cache key, so cached Results are
+// invalidated automatically when an engine change could alter any Result
+// field. Bump it in any PR that changes simulated timing, protocol
+// behaviour, or Result contents.
+const SchemaVersion = 5
 
 // Validate checks the machine configuration.
 func (c Config) Validate() error {

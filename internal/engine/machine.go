@@ -200,10 +200,14 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	dir := directory.New(layout, cfg.Protocol.InitEntry)
+	if cfg.MapDirectory {
+		dir = directory.NewMap(layout, cfg.Protocol.InitEntry)
+	}
 	m := &Machine{
 		cfg:    cfg,
 		layout: layout,
-		dir:    directory.New(layout, cfg.Protocol.InitEntry),
+		dir:    dir,
 		net:    nw,
 		st:     st,
 		alloc:  memory.NewAllocator(layout, 0),
@@ -240,6 +244,93 @@ func NewMachine(cfg Config) (*Machine, error) {
 	m.cancel = cfg.Cancel
 	m.hooks = m.checker != nil || m.faults != nil || m.ring != nil || m.cancel != nil
 	return m, nil
+}
+
+// Reset returns the machine to its post-NewMachine state under a (possibly
+// different) configuration, so sweep runners can re-run points against one
+// machine instead of reallocating caches, directory pages and scheduler
+// structures per point. The new configuration must match the machine's
+// structure — node count, cache geometry, page size and directory layout —
+// and must not install fault injectors (injector state is per-machine;
+// pooling faulted machines would break their determinism). A Reset machine
+// produces bit-identical Results to a freshly built one.
+func (m *Machine) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Nodes != m.cfg.Nodes || cfg.L1 != m.cfg.L1 || cfg.L2 != m.cfg.L2 ||
+		cfg.PageSize != m.cfg.PageSize || cfg.MapDirectory != m.cfg.MapDirectory {
+		return fmt.Errorf("engine: Reset with structurally different config")
+	}
+	if cfg.FaultInjector != nil || cfg.MsgFaults != nil {
+		return fmt.Errorf("engine: Reset with fault injectors (build a fresh machine)")
+	}
+	m.st.Reset()
+	nw, err := network.New(network.Config{
+		HopDelay:      cfg.Timing.HopDelay,
+		BytesPerCycle: cfg.Timing.BytesPerCycle,
+		BlockSize:     cfg.L2.BlockSize,
+		Topology:      cfg.Timing.Topology,
+	}, cfg.Nodes, m.st)
+	if err != nil {
+		return err
+	}
+	m.cfg = cfg
+	m.net = nw
+	m.dir.SetInit(cfg.Protocol.InitEntry)
+	m.dir.Reset()
+	for _, n := range m.nodes {
+		n.caches.Reset()
+		n.ctrlBusy = 0
+	}
+	m.alloc = memory.NewAllocator(m.layout, 0)
+	m.seq = nil
+	if cfg.TrackSequences {
+		m.seq = classify.NewSequences(m.layout)
+		m.seq.Locate = m.alloc.FindName
+	}
+	m.fs = nil
+	if cfg.TrackFalseSharing {
+		m.fs = classify.NewFalseSharing(m.layout, cfg.Nodes)
+	}
+	m.checker, m.checkEvery = nil, 0
+	if cfg.CheckLevel > check.Off {
+		m.checker = check.New(m.layout, m.dir, m.hierarchies())
+		m.checkEvery = cfg.CheckInterval
+		if m.checkEvery == 0 {
+			m.checkEvery = 4096
+		}
+		if m.touched == nil {
+			m.touched = make([]memory.Addr, 0, 8)
+		}
+	}
+	m.faults = nil
+	m.ring, m.ringPos, m.ringLen = nil, 0, 0
+	if cfg.RecordOps > 0 {
+		m.ring = make([]OpTrace, cfg.RecordOps)
+	}
+	m.resil = nil
+	if cfg.DirMSHRs > 0 || cfg.Retry.Enabled() {
+		m.resil = newResil(cfg)
+	}
+	m.cancel = cfg.Cancel
+	m.hooks = m.checker != nil || m.ring != nil || m.cancel != nil
+
+	m.procs = nil
+	m.events = nil
+	m.done = nil
+	m.h.a = m.h.a[:0]
+	m.live = 0
+	m.serial = false
+	m.aborted = false
+	m.runAheadOps = 0
+	m.recorder = nil
+	m.sinceSweep = 0
+	m.opCount = 0
+	m.touched = m.touched[:0]
+	m.servicing = nil
+	m.split = m.split[:0]
+	return nil
 }
 
 // hierarchies returns the per-node cache hierarchies indexed by node ID.
@@ -531,17 +622,46 @@ func (m *Machine) schedule() (err error) {
 	}
 
 	// First step: service the winner and hand it the conch.
-	next := m.h.pop()
-	if m.cfg.MaxCycles > 0 && next.at > m.cfg.MaxCycles {
-		m.h.push(next)
+	next, ok := m.popServe()
+	if !ok {
 		m.drain(m.live, m.h.a)
 		return fmt.Errorf("engine: CPU %d exceeded MaxCycles=%d (livelock guard)", next.proc.id, m.cfg.MaxCycles)
 	}
-	m.service(next)
 	m.grantLease(next.proc)
 	next.proc.resume <- struct{}{}
 
 	return <-m.done
+}
+
+// popServe performs scheduler steps from the goroutine holding the
+// conch: pop the globally earliest pending operation, guard, service it
+// — and, when it is a declarative spin-wait whose predicate is still
+// false, advance the spinner and re-arm the read without waking its
+// goroutine, then keep going. It returns the first completed operation
+// (ok=true; its processor is the one to resume), or the operation that
+// tripped the MaxCycles livelock guard (ok=false; already re-parked in
+// the heap so the abort paths find its processor).
+//
+// Iterating spins here is what makes contended barriers and locks cheap:
+// each spin read is still a heap-ordered, fully modeled operation —
+// byte-identical to the serial scheduler's — but a processor that spins N
+// times costs one goroutine handoff instead of N.
+func (m *Machine) popServe() (next *op, ok bool) {
+	for {
+		next = m.h.pop()
+		if m.cfg.MaxCycles > 0 && next.at > m.cfg.MaxCycles {
+			m.h.push(next)
+			return next, false
+		}
+		m.service(next)
+		if s := next.spin; s != nil && !s.stop() {
+			next.proc.Compute(s.step())
+			next.at = next.proc.clock
+			m.h.push(next)
+			continue
+		}
+		return next, true
+	}
 }
 
 // grantLease grants p the run-ahead lease up to the best other pending
@@ -567,13 +687,11 @@ func (m *Machine) finish(p *Proc) {
 		m.done <- m.finalCheck()
 		return
 	}
-	next := m.h.pop()
-	if m.cfg.MaxCycles > 0 && next.at > m.cfg.MaxCycles {
-		m.h.push(next)
+	next, ok := m.popServe()
+	if !ok {
 		m.abortConch(p, fmt.Errorf("engine: CPU %d exceeded MaxCycles=%d (livelock guard)", next.proc.id, m.cfg.MaxCycles))
 		return
 	}
-	m.service(next)
 	m.grantLease(next.proc)
 	next.proc.resume <- struct{}{}
 }

@@ -32,6 +32,21 @@ type op struct {
 	kind memory.Kind
 	rmw  bool // atomic read-modify-write (e.g. SPARC ldstub/swap)
 	excl bool // exclusive-read annotation (software prefetch-exclusive)
+
+	// spin marks a declarative spin-wait (Proc.SpinRead): after each
+	// service the scheduler evaluates spin.stop and, while it is false,
+	// re-arms the read spin.step busy cycles later without waking the
+	// processor's goroutine (Machine.popServe).
+	spin *spinState
+}
+
+// spinState is the predicate pair of a declarative spin-wait. Both
+// closures run on whichever goroutine holds the conch; the
+// one-goroutine-at-a-time discipline makes that as safe as running them
+// on the spinning processor's own goroutine, in exactly the same order.
+type spinState struct {
+	stop func() bool // terminate the spin after the read just serviced?
+	step func() int  // busy cycles until the next read
 }
 
 // Proc is a simulated processor's handle onto the machine, passed to its
@@ -143,13 +158,12 @@ func (p *Proc) submit(o op) {
 		return
 	}
 	m.h.push(&p.pending)
-	next := m.h.pop()
-	if m.cfg.MaxCycles > 0 && next.at > m.cfg.MaxCycles {
-		m.h.push(next) // park its processor with the rest for the abort
+	next, ok := m.popServe()
+	if !ok {
+		// next was re-parked by popServe; park ourselves with the rest.
 		m.abortConch(p, fmt.Errorf("engine: CPU %d exceeded MaxCycles=%d (livelock guard)", next.proc.id, m.cfg.MaxCycles))
 		panic(abortProgram{notify: false})
 	}
-	m.service(next)
 	m.grantLease(next.proc)
 	if next.proc == p {
 		return // our own operation won: keep the conch
@@ -159,6 +173,35 @@ func (p *Proc) submit(o op) {
 	if m.aborted {
 		panic(abortProgram{notify: true})
 	}
+}
+
+// SpinRead is the engine's spin-wait primitive: simulated word reads of
+// addr until stop() holds, separated by step() busy cycles — exactly the
+// load / test / backoff loop it replaces, with identical simulated timing
+// and service order. Under the handoff scheduler the iterations after the
+// first are serviced declaratively by whichever goroutine holds the conch
+// (Machine.popServe), so a spinning processor costs no goroutine handoffs
+// until its predicate flips; under the serial scheduler (and during the
+// concurrent startup phase) it degrades to the plain loop.
+func (p *Proc) SpinRead(addr memory.Addr, stop func() bool, step func() int) {
+	p.Read(addr)
+	if stop() {
+		return
+	}
+	// p.active is guaranteed by the Read above except under the serial
+	// scheduler, which never activates processors.
+	if p.m.serial {
+		for {
+			p.Compute(step())
+			p.Read(addr)
+			if stop() {
+				return
+			}
+		}
+	}
+	p.Compute(step())
+	p.submit(op{addr: addr, size: memory.WordSize, kind: memory.Load,
+		spin: &spinState{stop: stop, step: step}})
 }
 
 // runInline services o in the processor's own goroutine under its
@@ -181,7 +224,7 @@ func (p *Proc) runInline(o *op) bool {
 	if o.at > p.leaseAt || (o.at == p.leaseAt && p.id >= p.leaseID) {
 		return false
 	}
-	if o.rmw {
+	if o.rmw || o.spin != nil {
 		return false
 	}
 	m := p.m

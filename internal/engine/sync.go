@@ -72,16 +72,15 @@ func (l *Lock) Acquire(p *Proc) {
 			return
 		}
 		contended = true
-		for {
-			p.Read(l.addr)
-			if !l.held {
-				break
-			}
-			p.Compute(backoff + p.Rand().Intn(backoff))
-			if backoff < 1024 {
-				backoff *= 2
-			}
-		}
+		p.SpinRead(l.addr,
+			func() bool { return !l.held },
+			func() int {
+				n := backoff + p.Rand().Intn(backoff)
+				if backoff < 1024 {
+					backoff *= 2
+				}
+				return n
+			})
 		p.Compute(p.Rand().Intn(16)) // desynchronize the test-and-set
 	}
 }
@@ -128,13 +127,9 @@ func (t *TicketLock) Acquire(p *Proc) {
 	p.RMW(t.ticketAddr)
 	my := t.nextTicket
 	t.nextTicket++
-	for {
-		p.Read(t.servingAddr)
-		if t.nowServing == my {
-			return
-		}
-		p.Compute(4)
-	}
+	p.SpinRead(t.servingAddr,
+		func() bool { return t.nowServing == my },
+		func() int { return 4 })
 }
 
 // Release passes the lock to the next ticket holder.
@@ -205,13 +200,9 @@ func (b *Barrier) Wait(p *Proc) {
 		p.Write(b.senseAddr) // release: invalidates all spinners
 		return
 	}
-	for {
-		p.Read(b.senseAddr)
-		if b.sense == ls {
-			return
-		}
-		p.Compute(8)
-	}
+	p.SpinRead(b.senseAddr,
+		func() bool { return b.sense == ls },
+		func() int { return 8 })
 }
 
 // RWLock is a readers-writer spin lock built from a lock word and a
@@ -240,16 +231,15 @@ func (l *RWLock) RLock(p *Proc) {
 	backoff := 4
 	for {
 		// Wait until no writer holds or wants the latch.
-		for {
-			p.Read(l.wordAddr)
-			if !l.writer {
-				break
-			}
-			p.Compute(backoff + p.Rand().Intn(backoff))
-			if backoff < 512 {
-				backoff *= 2
-			}
-		}
+		p.SpinRead(l.wordAddr,
+			func() bool { return !l.writer },
+			func() int {
+				n := backoff + p.Rand().Intn(backoff)
+				if backoff < 512 {
+					backoff *= 2
+				}
+				return n
+			})
 		// Register as a reader, then re-check the writer flag (the
 		// standard acquire-recheck dance).
 		p.RMW(l.readersAddr)
@@ -288,13 +278,9 @@ func (l *RWLock) Lock(p *Proc) {
 			backoff *= 2
 		}
 	}
-	for {
-		p.Read(l.readersAddr)
-		if l.readers == 0 {
-			return
-		}
-		p.Compute(8 + p.Rand().Intn(8))
-	}
+	p.SpinRead(l.readersAddr,
+		func() bool { return l.readers == 0 },
+		func() int { return 8 + p.Rand().Intn(8) })
 }
 
 // Unlock releases the exclusive hold.

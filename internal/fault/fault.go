@@ -16,7 +16,6 @@ package fault
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -166,15 +165,15 @@ func ParseSpec(spec string) (*Injector, error) {
 	return New(class, afterOp, seed), nil
 }
 
-// candidate is one corruptible block, keyed by its dense block index so
-// selection is deterministic despite map-ordered directory iteration.
+// candidate is one corruptible block, keyed by its dense block index.
 type candidate struct {
 	idx   uint64
 	entry *directory.Entry
 }
 
 // candidates collects, in block order, every directory entry the class
-// can corrupt right now.
+// can corrupt right now. Directory.ForEach guarantees ascending block
+// order, so selection is deterministic without a sort.
 func (inj *Injector) candidates(t Target, suitable func(*directory.Entry) bool) []candidate {
 	var cs []candidate
 	t.Directory().ForEach(func(idx uint64, e *directory.Entry) {
@@ -182,7 +181,6 @@ func (inj *Injector) candidates(t Target, suitable func(*directory.Entry) bool) 
 			cs = append(cs, candidate{idx, e})
 		}
 	})
-	sort.Slice(cs, func(i, j int) bool { return cs[i].idx < cs[j].idx })
 	return cs
 }
 

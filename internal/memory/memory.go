@@ -8,7 +8,10 @@
 // 4.2.
 package memory
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // WordSize is the size in bytes of the simulated machine word.
 const WordSize = 4
@@ -116,7 +119,7 @@ func NewLayout(pageSize, blockSize uint64, nodes int) (Layout, error) {
 // Home returns the home node of the page containing addr. Pages are
 // assigned round-robin, as in the paper's architectural model.
 func (l Layout) Home(addr Addr) NodeID {
-	return NodeID((uint64(addr) / l.PageSize) % uint64(l.Nodes))
+	return NodeID((uint64(addr) >> uint(bits.TrailingZeros64(l.PageSize))) % uint64(l.Nodes))
 }
 
 // Block returns the block-aligned address of the block containing addr.
@@ -125,9 +128,11 @@ func (l Layout) Block(addr Addr) Addr {
 }
 
 // BlockIndex returns a dense index for the block containing addr, suitable
-// for use as a map key or table index.
+// for use as a map key or table index. BlockSize is a power of two
+// (NewLayout validates), so the division compiles to a shift rather than a
+// hardware divide — this is on the simulator's per-access hot path.
 func (l Layout) BlockIndex(addr Addr) uint64 {
-	return uint64(addr) / l.BlockSize
+	return uint64(addr) >> uint(bits.TrailingZeros64(l.BlockSize))
 }
 
 // WordInBlock returns the word offset of addr within its block.

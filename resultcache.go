@@ -1,0 +1,162 @@
+package lsnuma
+
+import (
+	"encoding/json"
+	"strconv"
+	"sync/atomic"
+
+	"lsnuma/internal/engine"
+	"lsnuma/internal/resultcache"
+)
+
+// DefaultCacheDir is the result cache location used when none is given
+// (the -cache flag of lssweep/lsreport).
+const DefaultCacheDir = ".lscache"
+
+// resultSchema identifies the cache envelope layout. Bump it if the
+// envelope itself (not the simulated semantics — that is
+// engine.SchemaVersion) changes shape.
+const resultSchema = "lsnuma-result-v1"
+
+// cacheVersion qualifies the cache directory with the engine schema
+// version, so entries written by an older engine generation are invisible
+// (and thus invalid) after any semantics-changing upgrade.
+func cacheVersion() string { return "e" + strconv.Itoa(engine.SchemaVersion) }
+
+// CacheStats counts a ResultCache's traffic over its lifetime.
+type CacheStats struct {
+	// Hits is the number of points answered from the cache.
+	Hits uint64
+	// Misses is the number of points that had to simulate (absent,
+	// truncated, corrupted or stale entries all count as misses).
+	Misses uint64
+	// Skips is the number of points not eligible for caching (fault
+	// injection configured).
+	Skips uint64
+	// Errors counts failed cache operations (hashing or write failures);
+	// the affected points still simulate normally.
+	Errors uint64
+}
+
+// ResultCache memoizes point Results persistently (see RunOptions.Cache):
+// a point whose canonical content hash — Config, workload, scale and
+// engine schema version — matches a stored entry returns the stored
+// Result byte-identically instead of simulating. Safe for concurrent use
+// by any number of goroutines and processes sharing one cache directory.
+type ResultCache struct {
+	c      *resultcache.Cache
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	skips  atomic.Uint64
+	errs   atomic.Uint64
+}
+
+// OpenResultCache opens (creating if needed) the persistent result cache
+// rooted at dir; "" means DefaultCacheDir.
+func OpenResultCache(dir string) (*ResultCache, error) {
+	if dir == "" {
+		dir = DefaultCacheDir
+	}
+	c, err := resultcache.Open(dir, cacheVersion())
+	if err != nil {
+		return nil, err
+	}
+	return &ResultCache{c: c}, nil
+}
+
+// Stats returns the cache's hit/miss/skip/error counters.
+func (rc *ResultCache) Stats() CacheStats {
+	if rc == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:   rc.hits.Load(),
+		Misses: rc.misses.Load(),
+		Skips:  rc.skips.Load(),
+		Errors: rc.errs.Load(),
+	}
+}
+
+// PointKey returns the content-addressed cache key of a simulation point:
+// a canonical hash of the configuration (field-order independent), the
+// workload name, the scale, and the engine schema version. Two points
+// with equal keys produce byte-identical Results.
+func PointKey(cfg Config, workloadName string, scale Scale) (string, error) {
+	cj, err := resultcache.CanonicalJSON(cfg)
+	if err != nil {
+		return "", err
+	}
+	return resultcache.Key(
+		[]byte(resultSchema),
+		[]byte(strconv.Itoa(engine.SchemaVersion)),
+		[]byte(workloadName),
+		[]byte(scale.String()),
+		cj,
+	), nil
+}
+
+// cacheEnvelope is the stored form of one entry. Embedding the schema and
+// key lets lookups reject foreign, stale or corrupted files as plain
+// misses.
+type cacheEnvelope struct {
+	Schema string  `json:"schema"`
+	Key    string  `json:"key"`
+	Result *Result `json:"result"`
+}
+
+// cacheable reports whether a point's Result may be memoized.
+// Fault-injected runs exist to exercise failure machinery, not to be
+// remembered.
+func cacheable(cfg Config) bool { return cfg.Faults == "" }
+
+// lookup returns the cached Result for pt, if any. Every failure mode of
+// the stored entry — absent, unreadable, truncated, corrupted, written
+// under a different key or schema — is a miss, never an error.
+func (rc *ResultCache) lookup(pt Point) (*Result, bool) {
+	if rc == nil {
+		return nil, false
+	}
+	if !cacheable(pt.Config) {
+		rc.skips.Add(1)
+		return nil, false
+	}
+	key, err := PointKey(pt.Config, pt.Workload, pt.Scale)
+	if err != nil {
+		rc.errs.Add(1)
+		return nil, false
+	}
+	data, ok := rc.c.Get(key)
+	if !ok {
+		rc.misses.Add(1)
+		return nil, false
+	}
+	var env cacheEnvelope
+	if err := json.Unmarshal(data, &env); err != nil ||
+		env.Schema != resultSchema || env.Key != key || env.Result == nil {
+		rc.misses.Add(1)
+		return nil, false
+	}
+	rc.hits.Add(1)
+	return env.Result, true
+}
+
+// store memoizes a fresh Result. Failures only bump the error counter:
+// the simulation already succeeded, and the cache is an optimization.
+func (rc *ResultCache) store(pt Point, res *Result) {
+	if rc == nil || !cacheable(pt.Config) {
+		return
+	}
+	key, err := PointKey(pt.Config, pt.Workload, pt.Scale)
+	if err != nil {
+		rc.errs.Add(1)
+		return
+	}
+	data, err := json.Marshal(cacheEnvelope{Schema: resultSchema, Key: key, Result: res})
+	if err != nil {
+		rc.errs.Add(1)
+		return
+	}
+	if err := rc.c.Put(key, data); err != nil {
+		rc.errs.Add(1)
+	}
+}

@@ -28,6 +28,9 @@ type PointResult struct {
 	Err    error
 	// Repro is the diagnostic bundle of a failed point (nil on success).
 	Repro *ReproBundle
+	// Cached reports that Result came from the persistent result cache
+	// (RunOptions.Cache) instead of a fresh simulation.
+	Cached bool
 }
 
 // OpTrace is one memory operation from a failed run's crash-diagnostics
@@ -88,6 +91,12 @@ type RunOptions struct {
 	// wrapping context.DeadlineExceeded and is reported as an annotated
 	// hole in sweep reports, not retried. Zero means no per-point bound.
 	PointTimeout time.Duration
+	// Cache, if non-nil, memoizes point Results persistently: each point
+	// is looked up by its content hash before simulating (a hit returns
+	// the stored Result byte-identically and marks the PointResult
+	// Cached), and successful fresh runs are stored back. Failed points
+	// are never cached. See OpenResultCache.
+	Cache *ResultCache
 }
 
 // reproRingSize is the operation-ring length used by the automatic
@@ -162,12 +171,18 @@ func RunAll(ctx context.Context, points []Point, opt RunOptions) ([]PointResult,
 		out[i].Point = points[i]
 	}
 	errs, err := runner.RunEach(ctx, len(points), opt.Parallelism, opt.PointTimeout, func(ctx context.Context, i int) error {
+		if res, ok := opt.Cache.lookup(points[i]); ok {
+			out[i].Result = res
+			out[i].Cached = true
+			return nil
+		}
 		res, bundle, err := runPointDiag(ctx, points[i], opt.NoRetry)
 		if err != nil {
 			out[i].Err = err
 			out[i].Repro = bundle
 			return err
 		}
+		opt.Cache.store(points[i], res)
 		out[i].Result = res
 		return nil
 	})
