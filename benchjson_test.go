@@ -61,10 +61,10 @@ type SweepBench struct {
 
 // BenchReport is the top-level -benchjson document.
 type BenchReport struct {
-	GOOS   string       `json:"goos"`
-	GOARCH string       `json:"goarch"`
-	NumCPU int          `json:"num_cpu"`
-	Scale  string       `json:"scale"`
+	GOOS    string       `json:"goos"`
+	GOARCH  string       `json:"goarch"`
+	NumCPU  int          `json:"num_cpu"`
+	Scale   string       `json:"scale"`
 	Results []BenchPoint `json:"results"`
 	// Sweeps records the persistent result cache's warm-vs-cold benefit.
 	Sweeps []SweepBench `json:"sweeps"`

@@ -37,8 +37,13 @@ var (
 	faultsFlag   = flag.String("faults", "", "inject protocol/message faults into every point: class[@arg][:seed],...")
 	mshrsFlag    = flag.Int("mshrs", 0, "per-home directory transaction buffers (0 = unlimited)")
 	retryFlag    = flag.String("retry", "", "NACK/loss retry policy: max:N,base:C,cap:C,jitter:S (empty = retries off)")
+	schedFlag    = flag.String("scheduler", "", "scheduler for every point: runahead (default), serial, or parallel")
+	shardsFlag   = flag.Int("shards", 0, "parallel scheduler home shards (0 = GOMAXPROCS)")
+	lookFlag     = flag.Uint64("lookahead", 0, "parallel scheduler safe-window cap in cycles (0 = uncapped)")
 	cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	mutexprofile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+	blockprofile = flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	cacheFlag    = flag.Bool("cache", false, "memoize point results in the persistent result cache (default dir .lscache)")
 	cacheDir     = flag.String("cache-dir", "", "result cache directory (implies -cache)")
 	noCache      = flag.Bool("no-cache", false, "disable the result cache even if -cache/-cache-dir is given")
@@ -73,7 +78,10 @@ func main() {
 	)
 	flag.Parse()
 
-	stop, err := prof.Start(*cpuprofile, *memprofile)
+	stop, err := prof.Start(prof.Options{
+		CPU: *cpuprofile, Mem: *memprofile,
+		Mutex: *mutexprofile, Block: *blockprofile,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -167,13 +175,16 @@ func opts() lsnuma.RunOptions {
 	return lsnuma.RunOptions{Parallelism: *parallelism, PointTimeout: *pointTimeout, Cache: resultCache}
 }
 
-// robust applies the report-wide -check / -faults / -mshrs / -retry flags
-// to one point's configuration.
+// robust applies the report-wide -check / -faults / -mshrs / -retry /
+// -scheduler flags to one point's configuration.
 func robust(cfg lsnuma.Config) lsnuma.Config {
 	cfg.Check = checkLevel
 	cfg.Faults = *faultsFlag
 	cfg.DirMSHRs = *mshrsFlag
 	cfg.Retry = *retryFlag
+	cfg.Scheduler = *schedFlag
+	cfg.Shards = *shardsFlag
+	cfg.Lookahead = *lookFlag
 	return cfg
 }
 

@@ -41,16 +41,24 @@ func main() {
 		regions      = flag.Bool("regions", false, "print per-region load-store coverage")
 		jsonOut      = flag.Bool("json", false, "emit results as JSON instead of text")
 		serial       = flag.Bool("serial", false, "use the per-access handshake scheduler (slower; for debugging/differential runs)")
+		scheduler    = flag.String("scheduler", "", "scheduler: runahead (default), serial, or parallel (shard homes across host cores)")
+		shards       = flag.Int("shards", 0, "parallel scheduler home shards (0 = GOMAXPROCS)")
+		lookahead    = flag.Uint64("lookahead", 0, "parallel scheduler safe-window cap in cycles (0 = uncapped)")
 		checkLevel   = flag.String("check", "off", "online coherence invariant checking: off, touched, full")
 		faults       = flag.String("faults", "", "inject protocol/message faults: class[@arg][:seed],... (see lsnuma.Config.Faults)")
 		mshrs        = flag.Int("mshrs", 0, "per-home directory transaction buffers (0 = unlimited)")
 		retry        = flag.String("retry", "", "NACK/loss retry policy: max:N,base:C,cap:C,jitter:S (empty = retries off)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	)
 	flag.Parse()
 
-	stop, err := prof.Start(*cpuprofile, *memprofile)
+	stop, err := prof.Start(prof.Options{
+		CPU: *cpuprofile, Mem: *memprofile,
+		Mutex: *mutexprofile, Block: *blockprofile,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -74,6 +82,9 @@ func main() {
 	}
 	cfg.TrackFalseSharing = *falseShare
 	cfg.SerialSchedule = *serial
+	cfg.Scheduler = *scheduler
+	cfg.Shards = *shards
+	cfg.Lookahead = *lookahead
 	if cfg.Check, err = lsnuma.ParseCheckLevel(*checkLevel); err != nil {
 		fatal(err)
 	}

@@ -40,6 +40,9 @@ func main() {
 		faults       = flag.String("faults", "", "inject protocol/message faults into every cell: class[@arg][:seed],...")
 		mshrs        = flag.Int("mshrs", 0, "per-home directory transaction buffers (0 = unlimited)")
 		retry        = flag.String("retry", "", "NACK/loss retry policy: max:N,base:C,cap:C,jitter:S (empty = retries off)")
+		scheduler    = flag.String("scheduler", "", "scheduler for every cell: runahead (default), serial, or parallel")
+		shards       = flag.Int("shards", 0, "parallel scheduler home shards (0 = GOMAXPROCS)")
+		lookahead    = flag.Uint64("lookahead", 0, "parallel scheduler safe-window cap in cycles (0 = uncapped)")
 		cacheFlag    = flag.Bool("cache", false, "memoize point results in the persistent result cache (default dir .lscache)")
 		cacheDir     = flag.String("cache-dir", "", "result cache directory (implies -cache)")
 		noCache      = flag.Bool("no-cache", false, "disable the result cache even if -cache/-cache-dir is given")
@@ -78,6 +81,9 @@ func main() {
 	base.Faults = *faults
 	base.DirMSHRs = *mshrs
 	base.Retry = *retry
+	base.Scheduler = *scheduler
+	base.Shards = *shards
+	base.Lookahead = *lookahead
 
 	param, err := lsnuma.ParseSweepParam(*sweep)
 	if err != nil {

@@ -36,6 +36,9 @@ func main() {
 	)
 	flag.StringVar(&checkFlag, "check", "off", "online coherence invariant checking: off, touched, full")
 	flag.StringVar(&faultsFlag, "faults", "", "inject a protocol fault: class[@afterOp][:seed]")
+	flag.StringVar(&schedFlag, "scheduler", "", "scheduler for replay: runahead (default), serial, or parallel (capture always records serially)")
+	flag.IntVar(&shardsFlag, "shards", 0, "parallel scheduler home shards (0 = GOMAXPROCS)")
+	flag.Uint64Var(&lookFlag, "lookahead", 0, "parallel scheduler safe-window cap in cycles (0 = uncapped)")
 	flag.Parse()
 
 	switch {
@@ -51,11 +54,17 @@ func main() {
 	}
 }
 
-// checkFlag / faultsFlag are the robustness knobs shared by capture and
-// replay (see lsnuma.Config.Check / Config.Faults).
+// checkFlag / faultsFlag / schedFlag are the robustness and scheduler
+// knobs shared by capture and replay (see lsnuma.Config.Check /
+// Config.Faults / Config.Scheduler). Capture itself always runs
+// serially — the recorder hook forces the serial scheduler — but replay
+// honours the scheduler selection.
 var (
 	checkFlag  string
 	faultsFlag string
+	schedFlag  string
+	shardsFlag int
+	lookFlag   uint64
 )
 
 // buildMachine lowers a public config to an engine machine (trace capture
@@ -72,6 +81,9 @@ func buildMachine(workloadName, protoName string) (*engine.Machine, error) {
 	}
 	cfg.Check = check
 	cfg.Faults = faultsFlag
+	cfg.Scheduler = schedFlag
+	cfg.Shards = shardsFlag
+	cfg.Lookahead = lookFlag
 	return lsnuma.NewEngineMachine(cfg)
 }
 

@@ -142,6 +142,25 @@ type Config struct {
 	// bit-identical results; the serial path exists for differential
 	// testing and debugging (see internal/engine.Config.SerialSchedule).
 	SerialSchedule bool
+	// Scheduler selects the discrete-event scheduler: "runahead" (or
+	// empty, the default), "serial", or "parallel" — the conservative
+	// parallel scheduler that shards directory homes across host cores
+	// and services independent operations concurrently within
+	// Chandy–Misra safe windows. All three produce byte-identical
+	// Results; "parallel" silently degrades to run-ahead when a feature
+	// incompatible with concurrent service is enabled (fault injection,
+	// false-sharing tracking, op recording, the map directory).
+	// SerialSchedule=true overrides this field (back compatibility).
+	Scheduler string
+	// Shards is the number of home shards (worker lanes) for the
+	// parallel scheduler; zero picks GOMAXPROCS, clamped to the node
+	// count. Results are identical for every shard count.
+	Shards int
+	// Lookahead caps the per-operation conservative latency bound of the
+	// parallel scheduler in cycles (zero = uncapped). Smaller windows
+	// reduce batch sizes; results are unaffected. Mostly a tuning and
+	// testing knob.
+	Lookahead uint64
 	// Check runs the coherence invariant checker online ("" or CheckOff
 	// disables it). Checking is side-effect free: simulated Results are
 	// byte-identical with it on or off; a violation aborts the run with a
@@ -259,6 +278,10 @@ func (c Config) engineConfig() (engine.Config, error) {
 	if err != nil {
 		return engine.Config{}, fmt.Errorf("lsnuma: %w", err)
 	}
+	sched, err := engine.ParseSched(c.Scheduler)
+	if err != nil {
+		return engine.Config{}, fmt.Errorf("lsnuma: %w", err)
+	}
 	return engine.Config{
 		Nodes: c.Nodes,
 		L1: cache.Config{
@@ -283,6 +306,9 @@ func (c Config) engineConfig() (engine.Config, error) {
 		RelaxedWrites:     c.RelaxedWrites,
 		MaxCycles:         maxCycles,
 		SerialSchedule:    c.SerialSchedule,
+		Sched:             sched,
+		Shards:            c.Shards,
+		Lookahead:         c.Lookahead,
 		CheckLevel:        level,
 		CheckInterval:     c.CheckInterval,
 		FaultInjector:     injector,

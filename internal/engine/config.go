@@ -64,6 +64,57 @@ func (t Timing) Validate() error {
 	return nil
 }
 
+// Sched selects which scheduler drives the simulation. All three produce
+// byte-identical Results; they differ only in host-side execution
+// strategy.
+type Sched uint8
+
+const (
+	// SchedRunAhead is the default conch-handoff scheduler with run-ahead
+	// leases (see Machine.schedule).
+	SchedRunAhead Sched = iota
+	// SchedSerial is the per-access handshake reference scheduler,
+	// equivalent to Config.SerialSchedule.
+	SchedSerial
+	// SchedParallel is the conservative parallel discrete-event scheduler:
+	// directory homes (and the processors co-numbered with them) are
+	// partitioned into shards, each driven by a worker goroutine inside
+	// Chandy–Misra safe time windows; cross-shard transactions serialize
+	// at barrier epochs (see Machine.scheduleParallel). Falls back to
+	// run-ahead when a configuration is incompatible (recorders, protocol
+	// fault injectors, false-sharing tracking, RecordOps, MapDirectory, or
+	// a zero L1 access time).
+	SchedParallel
+)
+
+func (s Sched) String() string {
+	switch s {
+	case SchedRunAhead:
+		return "runahead"
+	case SchedSerial:
+		return "serial"
+	case SchedParallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("Sched(%d)", uint8(s))
+	}
+}
+
+// ParseSched converts a scheduler name ("", "runahead", "serial",
+// "parallel"; "" means runahead) to a Sched.
+func ParseSched(s string) (Sched, error) {
+	switch s {
+	case "", "runahead":
+		return SchedRunAhead, nil
+	case "serial":
+		return SchedSerial, nil
+	case "parallel":
+		return SchedParallel, nil
+	default:
+		return SchedRunAhead, fmt.Errorf("engine: unknown scheduler %q (want runahead, serial, parallel)", s)
+	}
+}
+
 // Config describes the simulated machine.
 type Config struct {
 	// Nodes is the number of processor nodes (1..64).
@@ -155,6 +206,23 @@ type Config struct {
 	// in simulated behaviour; the map path is kept for differential
 	// testing, like SerialSchedule for the scheduler.
 	MapDirectory bool
+	// Sched selects the scheduler (run-ahead, serial, parallel). All
+	// produce byte-identical Results. SerialSchedule=true and an installed
+	// recorder both force SchedSerial regardless of this field.
+	Sched Sched
+	// Shards is the parallel scheduler's home-shard count: directory homes
+	// (and the processors co-numbered with them) are partitioned
+	// round-robin into this many worker-driven shards. Zero means one
+	// shard per host core (GOMAXPROCS), clamped to the node count. Ignored
+	// outside SchedParallel.
+	Shards int
+	// Lookahead, when non-zero, caps the parallel scheduler's per-op
+	// clock-advance bound at this many cycles. The automatic bounds
+	// (cache/controller latencies plus the network's minimum cross-node
+	// latency) are already safe; a cap only narrows the safe windows, so
+	// this is a conservativeness/debugging knob, not a correctness one.
+	// Ignored outside SchedParallel.
+	Lookahead uint64
 }
 
 // SchemaVersion identifies the generation of simulated semantics: it is
@@ -162,7 +230,7 @@ type Config struct {
 // invalidated automatically when an engine change could alter any Result
 // field. Bump it in any PR that changes simulated timing, protocol
 // behaviour, or Result contents.
-const SchemaVersion = 5
+const SchemaVersion = 6
 
 // Validate checks the machine configuration.
 func (c Config) Validate() error {
@@ -192,6 +260,12 @@ func (c Config) Validate() error {
 	}
 	if c.DirMSHRs < 0 {
 		return fmt.Errorf("engine: negative directory MSHR count %d", c.DirMSHRs)
+	}
+	if c.Sched > SchedParallel {
+		return fmt.Errorf("engine: unknown scheduler %d", c.Sched)
+	}
+	if c.Shards < 0 || c.Shards > MaxShards {
+		return fmt.Errorf("engine: shard count %d outside 0..%d", c.Shards, MaxShards)
 	}
 	if err := c.Retry.Validate(); err != nil {
 		return err

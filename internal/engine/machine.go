@@ -82,14 +82,23 @@ type Machine struct {
 	hooks      bool
 	checker    *check.Checker
 	checkEvery uint64
-	sinceSweep uint64
-	opCount    uint64 // serviced memory operations (any scheduler path)
 	faults     *fault.Injector
-	touched    []memory.Addr // blocks mutated by the current operation
-	ring       []OpTrace     // last-ops ring buffer (RecordOps)
+	ring       []OpTrace // last-ops ring buffer (RecordOps)
 	ringPos    int
 	ringLen    int
 	servicing  *op
+
+	// coord is the coordinator servicing lane (stats, network sink,
+	// checker, per-op hook state): the only lane under the serial and
+	// run-ahead schedulers, and the quiescent-phase lane of the parallel
+	// scheduler, whose shard workers get lanes of their own (see par.go).
+	coord *lane
+	// par and park exist only for the duration of a parallel Run: the
+	// shard/window state, and the channel active processors park on (the
+	// coordinator owns the conch permanently there, so the handoff path's
+	// heap-push protocol does not apply).
+	par  *parSched
+	park chan event
 
 	// resil is the resilient transaction layer (finite home buffers,
 	// NACK/retry, message-fault recovery, forward-progress watchdog);
@@ -226,13 +235,15 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.TrackFalseSharing {
 		m.fs = classify.NewFalseSharing(layout, cfg.Nodes)
 	}
+	m.coord = &lane{st: st, net: nw, isCoord: true}
 	if cfg.CheckLevel > check.Off {
 		m.checker = check.New(layout, m.dir, m.hierarchies())
 		m.checkEvery = cfg.CheckInterval
 		if m.checkEvery == 0 {
 			m.checkEvery = 4096
 		}
-		m.touched = make([]memory.Addr, 0, 8)
+		m.coord.checker = m.checker
+		m.coord.touched = make([]memory.Addr, 0, 8)
 	}
 	m.faults = cfg.FaultInjector
 	if cfg.RecordOps > 0 {
@@ -294,15 +305,15 @@ func (m *Machine) Reset(cfg Config) error {
 		m.fs = classify.NewFalseSharing(m.layout, cfg.Nodes)
 	}
 	m.checker, m.checkEvery = nil, 0
+	m.coord = &lane{st: m.st, net: m.net, isCoord: true}
 	if cfg.CheckLevel > check.Off {
 		m.checker = check.New(m.layout, m.dir, m.hierarchies())
 		m.checkEvery = cfg.CheckInterval
 		if m.checkEvery == 0 {
 			m.checkEvery = 4096
 		}
-		if m.touched == nil {
-			m.touched = make([]memory.Addr, 0, 8)
-		}
+		m.coord.checker = m.checker
+		m.coord.touched = make([]memory.Addr, 0, 8)
 	}
 	m.faults = nil
 	m.ring, m.ringPos, m.ringLen = nil, 0, 0
@@ -325,11 +336,10 @@ func (m *Machine) Reset(cfg Config) error {
 	m.aborted = false
 	m.runAheadOps = 0
 	m.recorder = nil
-	m.sinceSweep = 0
-	m.opCount = 0
-	m.touched = m.touched[:0]
 	m.servicing = nil
 	m.split = m.split[:0]
+	m.par = nil
+	m.park = nil
 	return nil
 }
 
@@ -407,7 +417,11 @@ func (m *Machine) Run(programs []Program) error {
 	}
 	m.events = make(chan event)
 	m.done = make(chan error)
-	m.serial = m.cfg.SerialSchedule || m.recorder != nil
+	m.serial = m.cfg.SerialSchedule || m.recorder != nil || m.cfg.Sched == SchedSerial
+	if !m.serial && m.cfg.Sched == SchedParallel && m.parallelOK() {
+		m.par = newParSched(m)
+		m.park = make(chan event)
+	}
 	for i, prog := range programs {
 		if prog == nil {
 			continue // nil program: the node stays idle
@@ -421,9 +435,16 @@ func (m *Machine) Run(programs []Program) error {
 		go func(prog Program, p *Proc) {
 			defer func() {
 				r := recover()
+				// Under the parallel scheduler the coordinator keeps the
+				// conch permanently: active processors report through the
+				// park channel and never drive scheduler steps themselves.
 				switch {
 				case r == nil:
 					if p.active {
+						if m.par != nil {
+							m.park <- event{proc: p}
+							return
+						}
 						m.finish(p) // holds the conch: drive the next step
 						return
 					}
@@ -433,9 +454,17 @@ func (m *Machine) Run(programs []Program) error {
 					// goroutine initiated the abort itself (the drain
 					// then already ran and nobody is listening).
 					if r.(abortProgram).notify {
+						if m.par != nil && p.active {
+							m.park <- event{proc: p, err: r}
+							return
+						}
 						m.events <- event{proc: p, err: r}
 					}
 				case p.active:
+					if m.par != nil {
+						m.park <- event{proc: p, err: recoveredError(p.id, r)}
+						return
+					}
 					m.abortConch(p, recoveredError(p.id, r))
 				default:
 					m.events <- event{proc: p, err: recoveredError(p.id, r)}
@@ -447,17 +476,25 @@ func (m *Machine) Run(programs []Program) error {
 	if m.serial {
 		return m.scheduleSerial()
 	}
+	if m.par != nil {
+		return m.scheduleParallel()
+	}
 	return m.schedule()
 }
 
 // service executes one scheduled operation: the recorder hook (if any),
 // the detailed memory-system model, and the issuing processor's
-// completion bookkeeping. Shared by both schedulers and identical in
-// effect to the inline run-ahead path of Proc.runInline. While the
-// operation is in flight it is registered in m.servicing so the abort
-// paths can wake its (parked, list-less) processor if anything panics.
-func (m *Machine) service(next *op) {
-	m.servicing = next
+// completion bookkeeping, all against the given servicing lane — the
+// coordinator lane on the serial/run-ahead paths, a shard worker's lane
+// inside a parallel batch round. Identical in effect to the inline
+// run-ahead path of Proc.runInline. On the coordinator the in-flight
+// operation is registered in m.servicing so the abort paths can wake its
+// (parked, list-less) processor if anything panics; worker panics are
+// caught by runBatch instead.
+func (m *Machine) service(ln *lane, next *op) {
+	if ln.isCoord {
+		m.servicing = next
+	}
 	if m.recorder != nil {
 		gap := uint32(0)
 		if next.at > next.proc.lastDone {
@@ -469,28 +506,31 @@ func (m *Machine) service(next *op) {
 			Compute: gap,
 		})
 	}
-	if m.checker != nil {
-		m.precheckOp(next)
+	ln.curAt, ln.curCPU = next.at, next.proc.id
+	if ln.checker != nil {
+		m.precheckOp(ln, next)
 	}
-	m.execute(next)
+	m.execute(ln, next)
 	next.proc.lastDone = next.proc.clock
 	if m.hooks {
-		m.afterOp(next)
+		m.afterOp(ln, next)
 	}
-	m.servicing = nil
+	if ln.isCoord {
+		m.servicing = nil
+	}
 }
 
 // precheckOp validates every block the operation is about to touch, so a
 // corruption is reported as a structured CoherenceViolation before the
 // memory system trips over it with a bare panic.
-func (m *Machine) precheckOp(o *op) {
+func (m *Machine) precheckOp(ln *lane, o *op) {
 	first := m.layout.Block(o.addr)
 	last := first
 	if o.size > 0 {
 		last = m.layout.Block(o.addr + memory.Addr(o.size) - 1)
 	}
 	for b := first; ; b += memory.Addr(m.layout.BlockSize) {
-		if err := m.checker.CheckBlock(b, o.at); err != nil {
+		if err := ln.checker.CheckBlock(b, o.at); err != nil {
 			panic(err)
 		}
 		if b >= last {
@@ -503,10 +543,12 @@ func (m *Machine) precheckOp(o *op) {
 // been fully serviced: the crash-diagnostics ring, the touched-block
 // invariant checks, fault injection, and the periodic full sweep. Checker
 // failures panic with a *CoherenceViolation and flow through the normal
-// abort machinery.
-func (m *Machine) afterOp(o *op) {
-	m.opCount++
-	if m.cancel != nil && m.opCount&1023 == 0 {
+// abort machinery. Cancel polling, the ring, fault injection and the full
+// sweep are coordinator-only duties (workers count sinceSweep; the
+// coordinator folds the counts in and sweeps at quiescence).
+func (m *Machine) afterOp(ln *lane, o *op) {
+	ln.opCount++
+	if m.cancel != nil && ln.isCoord && ln.opCount&1023 == 0 {
 		if err := m.cancel(); err != nil {
 			panic(&CancelledError{Err: err})
 		}
@@ -524,23 +566,23 @@ func (m *Machine) afterOp(o *op) {
 			m.ringLen++
 		}
 	}
-	if m.checker != nil {
-		for _, b := range m.touched {
-			if err := m.checker.CheckBlock(b, o.proc.clock); err != nil {
-				m.touched = m.touched[:0]
+	if ln.checker != nil {
+		for _, b := range ln.touched {
+			if err := ln.checker.CheckBlock(b, o.proc.clock); err != nil {
+				ln.touched = ln.touched[:0]
 				panic(err)
 			}
 		}
-		m.touched = m.touched[:0]
+		ln.touched = ln.touched[:0]
 	}
 	if m.faults != nil {
-		m.faults.Tick(m, m.opCount, o.proc.clock)
+		m.faults.Tick(m, ln.opCount, o.proc.clock)
 	}
-	if m.checker != nil && m.cfg.CheckLevel >= check.Full {
-		m.sinceSweep++
-		if m.sinceSweep >= m.checkEvery {
-			m.sinceSweep = 0
-			if err := m.checker.CheckAll(o.proc.clock); err != nil {
+	if ln.checker != nil && m.cfg.CheckLevel >= check.Full {
+		ln.sinceSweep++
+		if ln.isCoord && ln.sinceSweep >= m.checkEvery {
+			ln.sinceSweep = 0
+			if err := ln.checker.CheckAll(o.proc.clock); err != nil {
 				panic(err)
 			}
 		}
@@ -653,7 +695,7 @@ func (m *Machine) popServe() (next *op, ok bool) {
 			m.h.push(next)
 			return next, false
 		}
-		m.service(next)
+		m.service(m.coord, next)
 		if s := next.spin; s != nil && !s.stop() {
 			next.proc.Compute(s.step())
 			next.at = next.proc.clock
@@ -791,7 +833,7 @@ func (m *Machine) scheduleSerial() (err error) {
 			return fmt.Errorf("engine: CPU %d exceeded MaxCycles=%d (livelock guard)", next.proc.id, m.cfg.MaxCycles)
 		}
 		pending[next.proc.id] = nil
-		m.service(next)
+		m.service(m.coord, next)
 		running = 1
 		next.proc.resume <- struct{}{}
 	}

@@ -11,18 +11,20 @@ import (
 
 // execute services one scheduled memory operation, advancing the issuing
 // processor's clock by the modeled latency and updating all simulator
-// state (caches, directory, network occupancy, statistics, classifiers).
-func (m *Machine) execute(o *op) {
+// state (caches, directory, network occupancy, statistics, classifiers)
+// through the servicing lane ln.
+func (m *Machine) execute(ln *lane, o *op) {
 	// The common case — an access confined to one block — skips the split
 	// entirely; straddling accesses reuse the machine's scratch buffer so
-	// neither path allocates.
+	// neither path allocates. (Multi-block and atomic operations are never
+	// batched by the parallel scheduler, so m.split stays single-writer.)
 	if o.size > 0 && m.layout.SameBlock(o.addr, o.addr+memory.Addr(o.size)-1) {
 		if o.rmw {
-			m.accessBlock(o.proc, o.addr, o.size, memory.Load, false, true)
-			m.accessBlock(o.proc, o.addr, o.size, memory.Store, true, false)
+			m.accessBlock(ln, o.proc, o.addr, o.size, memory.Load, false, true)
+			m.accessBlock(ln, o.proc, o.addr, o.size, memory.Store, true, false)
 			return
 		}
-		m.accessBlock(o.proc, o.addr, o.size, o.kind, false, o.excl)
+		m.accessBlock(ln, o.proc, o.addr, o.size, o.kind, false, o.excl)
 		return
 	}
 	m.split = m.layout.AppendSplitByBlock(m.split[:0], o.addr, o.size)
@@ -31,15 +33,15 @@ func (m *Machine) execute(o *op) {
 		// The load half of an atomic is a natural exclusive-read site
 		// under the software prefetch-exclusive model.
 		for _, part := range parts {
-			m.accessBlock(o.proc, part.Addr, part.Size, memory.Load, false, true)
+			m.accessBlock(ln, o.proc, part.Addr, part.Size, memory.Load, false, true)
 		}
 		for _, part := range parts {
-			m.accessBlock(o.proc, part.Addr, part.Size, memory.Store, true, false)
+			m.accessBlock(ln, o.proc, part.Addr, part.Size, memory.Store, true, false)
 		}
 		return
 	}
 	for _, part := range parts {
-		m.accessBlock(o.proc, part.Addr, part.Size, o.kind, false, o.excl)
+		m.accessBlock(ln, o.proc, part.Addr, part.Size, o.kind, false, o.excl)
 	}
 }
 
@@ -48,14 +50,14 @@ func (m *Machine) execute(o *op) {
 // must drain the relaxed-mode write buffer before executing; exclAnnot
 // marks an exclusive-read annotation, honoured only when the machine is
 // configured with SoftwareExclusive.
-func (m *Machine) accessBlock(p *Proc, addr memory.Addr, size uint32, kind memory.Kind, rmwFence, exclAnnot bool) {
+func (m *Machine) accessBlock(ln *lane, p *Proc, addr memory.Addr, size uint32, kind memory.Kind, rmwFence, exclAnnot bool) {
 	block := m.layout.Block(addr)
 	nd := m.nodes[p.id]
-	cpu := &m.st.CPUs[p.id]
-	if m.checker != nil {
+	cpu := &ln.st.CPUs[p.id]
+	if ln.checker != nil {
 		// Queue the block for the post-operation invariant check; fill
 		// adds replacement victims the same way.
-		m.touched = append(m.touched, block)
+		ln.touched = append(ln.touched, block)
 	}
 	if kind == memory.Load {
 		cpu.Loads++
@@ -95,10 +97,8 @@ func (m *Machine) accessBlock(p *Proc, addr memory.Addr, size uint32, kind memor
 		// entry remains in the Load-Store (Excl) state — per Fig. 1 the
 		// "Write (by LR)" transition to Dirty needs no message; the home
 		// discovers the dirtiness when the next request is forwarded.
-		m.st.EliminatedOwnership++
-		if m.seq != nil {
-			m.seq.GlobalWrite(block, p.id, p.src, true)
-		}
+		ln.st.EliminatedOwnership++
+		m.noteSeqWrite(ln, block, p.id, p.src, true)
 	}
 
 	var done uint64 = issued
@@ -109,11 +109,11 @@ func (m *Machine) accessBlock(p *Proc, addr memory.Addr, size uint32, kind memor
 		}
 		switch res.Action {
 		case cache.GlobalRead:
-			done = m.readMiss(p, block, issued, exclAnnot && m.cfg.SoftwareExclusive)
+			done = m.readMiss(ln, p, block, issued, exclAnnot && m.cfg.SoftwareExclusive)
 		case cache.GlobalUpgrade:
-			done = m.upgrade(p, block, issued)
+			done = m.upgrade(ln, p, block, issued)
 		case cache.GlobalWriteMiss:
-			done = m.writeMiss(p, block, issued)
+			done = m.writeMiss(ln, p, block, issued)
 		}
 		stall += done - issued
 	}
@@ -173,18 +173,16 @@ func (m *Machine) classifyReadMiss(e *directory.Entry, block memory.Addr) stats.
 // readMiss services a global read request for block by processor p.id
 // issued at time `at`, returns the completion time, and installs the
 // block in p's caches.
-func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool) uint64 {
+func (m *Machine) readMiss(ln *lane, p *Proc, block memory.Addr, at uint64, wantExcl bool) uint64 {
 	R := p.id
 	H := m.layout.Home(block)
 	e := m.dir.Entry(block)
 	proto := m.cfg.Protocol
 
-	m.st.ReadMisses[m.classifyReadMiss(e, block)]++
-	if m.seq != nil {
-		m.seq.GlobalRead(block, R)
-	}
+	ln.st.ReadMisses[m.classifyReadMiss(e, block)]++
+	m.noteSeqRead(ln, block, R)
 
-	t := m.request(p, block, H, stats.MsgReadReq, at)
+	t := m.request(ln, p, block, H, stats.MsgReadReq, at)
 
 	var fill cache.State
 	switch e.State {
@@ -198,9 +196,9 @@ func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool)
 				// A software exclusive read of a read-shared block
 				// invalidates the other copies (prefetch-exclusive
 				// semantics).
-				t = m.invalidateSharers(e, block, R, H, t)
+				t = m.invalidateSharers(ln, e, block, R, H, t)
 			}
-			m.st.ExclusiveGrants++
+			ln.st.ExclusiveGrants++
 			e.State = directory.Excl
 			e.Owner = R
 			e.Sharers = 0
@@ -211,7 +209,7 @@ func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool)
 			e.Owner = memory.NoNode
 			fill = cache.Shared
 		}
-		t = m.send(H, R, stats.MsgReadReply, t)
+		t = m.send(ln, H, R, stats.MsgReadReply, t)
 
 	case directory.Dirty, directory.Excl:
 		O := e.Owner
@@ -219,7 +217,7 @@ func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool)
 			panic(fmt.Sprintf("engine: read miss by owner %d of block %#x", R, block))
 		}
 		ownerState := m.nodes[O].caches.State(block)
-		t = m.send(H, O, stats.MsgReadFwd, t)
+		t = m.send(ln, H, O, stats.MsgReadFwd, t)
 		t = m.ctrl(O, t, m.cfg.Timing.CtrlTime+m.cfg.L2.AccessTime)
 
 		if ownerState == cache.LStemp {
@@ -231,11 +229,11 @@ func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool)
 			// the paper: "both the requesting node as well as the home
 			// node receives an updated copy").
 			proto.NoteFailedPrediction(e)
-			m.st.FailedPredictions++
+			ln.st.FailedPredictions++
 			m.nodes[O].caches.Downgrade(block)
-			m.send(O, H, stats.MsgNotLS, t)
-			m.send(O, H, stats.MsgUpdate, t)
-			t = m.send(O, R, stats.MsgReadReply, t)
+			m.send(ln, O, H, stats.MsgNotLS, t)
+			m.send(ln, O, H, stats.MsgUpdate, t)
+			t = m.send(ln, O, R, stats.MsgReadReply, t)
 			e.State = directory.Shared
 			e.Sharers = 0
 			e.Sharers.Add(O)
@@ -246,14 +244,14 @@ func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool)
 			// Genuine dirty copy: DASH-style 4-hop read-on-dirty. The
 			// owner writes back through the home, which replies to the
 			// requester.
-			t = m.send(O, H, stats.MsgSharingWB, t)
+			t = m.send(ln, O, H, stats.MsgSharingWB, t)
 			t = m.ctrl(H, t, m.cfg.Timing.CtrlTime+m.cfg.Timing.MemTime)
 			if wantExcl || proto.GrantExclusiveOnRead(e, R) {
 				// Migratory/LS handling: the read is combined with the
 				// ownership acquisition — the previous owner is
 				// invalidated and the requester receives an exclusive
 				// copy.
-				m.st.ExclusiveGrants++
+				ln.st.ExclusiveGrants++
 				m.loseCopy(O, block, true)
 				e.State = directory.Excl
 				e.Owner = R
@@ -267,13 +265,13 @@ func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool)
 				e.Owner = memory.NoNode
 				fill = cache.Shared
 			}
-			t = m.send(H, R, stats.MsgReadReply, t)
+			t = m.send(ln, H, R, stats.MsgReadReply, t)
 		}
 	}
 
 	proto.NoteRead(e, R)
 	t = m.ctrl(R, t, m.cfg.Timing.CtrlTime)
-	m.fill(p, block, fill, t)
+	m.fill(ln, p, block, fill, t)
 	m.complete(t)
 	return t
 }
@@ -281,7 +279,7 @@ func (m *Machine) readMiss(p *Proc, block memory.Addr, at uint64, wantExcl bool)
 // upgrade services an ownership acquisition: p holds a Shared copy and
 // wants to write. Invalidations go to all other sharers; the grant waits
 // for their acknowledgements (sequential consistency).
-func (m *Machine) upgrade(p *Proc, block memory.Addr, at uint64) uint64 {
+func (m *Machine) upgrade(ln *lane, p *Proc, block memory.Addr, at uint64) uint64 {
 	R := p.id
 	H := m.layout.Home(block)
 	e := m.dir.Entry(block)
@@ -291,23 +289,21 @@ func (m *Machine) upgrade(p *Proc, block memory.Addr, at uint64) uint64 {
 			block, R, e.State, e.Sharers))
 	}
 
-	m.st.GlobalInv++
-	m.st.WritesToShared++
+	ln.st.GlobalInv++
+	ln.st.WritesToShared++
 	if tagged := m.cfg.Protocol.NoteGlobalWrite(e, R, true); tagged {
-		m.st.Taggings++
+		ln.st.Taggings++
 	}
-	if m.seq != nil {
-		m.seq.GlobalWrite(block, R, p.src, false)
-	}
+	m.noteSeqWrite(ln, block, R, p.src, false)
 
-	t := m.request(p, block, H, stats.MsgOwnReq, at)
-	t = m.invalidateSharers(e, block, R, H, t)
+	t := m.request(ln, p, block, H, stats.MsgOwnReq, at)
+	t = m.invalidateSharers(ln, e, block, R, H, t)
 
 	e.State = directory.Dirty
 	e.Owner = R
 	e.Sharers = 0
 
-	t = m.send(H, R, stats.MsgOwnAck, t)
+	t = m.send(ln, H, R, stats.MsgOwnAck, t)
 	t = m.ctrl(R, t, m.cfg.Timing.CtrlTime)
 	m.nodes[R].caches.Upgrade(block)
 	m.complete(t)
@@ -316,32 +312,30 @@ func (m *Machine) upgrade(p *Proc, block memory.Addr, at uint64) uint64 {
 
 // writeMiss services a read-exclusive request: p holds no copy and wants
 // to write.
-func (m *Machine) writeMiss(p *Proc, block memory.Addr, at uint64) uint64 {
+func (m *Machine) writeMiss(ln *lane, p *Proc, block memory.Addr, at uint64) uint64 {
 	R := p.id
 	H := m.layout.Home(block)
 	e := m.dir.Entry(block)
 	proto := m.cfg.Protocol
 
-	m.st.GlobalWriteMisses++
+	ln.st.GlobalWriteMisses++
 	if tagged := proto.NoteGlobalWrite(e, R, false); tagged {
-		m.st.Taggings++
+		ln.st.Taggings++
 	}
-	if m.seq != nil {
-		m.seq.GlobalWrite(block, R, p.src, false)
-	}
+	m.noteSeqWrite(ln, block, R, p.src, false)
 
-	t := m.request(p, block, H, stats.MsgWriteReq, at)
+	t := m.request(ln, p, block, H, stats.MsgWriteReq, at)
 
 	switch e.State {
 	case directory.Uncached:
 		t = m.ctrl(H, t, m.cfg.Timing.MemTime)
-		t = m.send(H, R, stats.MsgWriteReply, t)
+		t = m.send(ln, H, R, stats.MsgWriteReply, t)
 
 	case directory.Shared:
-		m.st.WritesToShared++
-		t = m.invalidateSharers(e, block, R, H, t)
+		ln.st.WritesToShared++
+		t = m.invalidateSharers(ln, e, block, R, H, t)
 		t = m.ctrl(H, t, m.cfg.Timing.MemTime)
-		t = m.send(H, R, stats.MsgWriteReply, t)
+		t = m.send(ln, H, R, stats.MsgWriteReply, t)
 
 	case directory.Dirty, directory.Excl:
 		O := e.Owner
@@ -349,25 +343,25 @@ func (m *Machine) writeMiss(p *Proc, block memory.Addr, at uint64) uint64 {
 			panic(fmt.Sprintf("engine: write miss by owner %d of block %#x", R, block))
 		}
 		ownerState := m.nodes[O].caches.State(block)
-		t = m.send(H, O, stats.MsgWriteFwd, t)
+		t = m.send(ln, H, O, stats.MsgWriteFwd, t)
 		t = m.ctrl(O, t, m.cfg.Timing.CtrlTime+m.cfg.L2.AccessTime)
 		if ownerState == cache.LStemp {
 			// Foreign write to an unexercised exclusive grant: failed
 			// prediction (Section 3.1, case 2). The copy is clean, so
 			// the home supplies the data after the owner's ack.
 			proto.NoteFailedPrediction(e)
-			m.st.FailedPredictions++
+			ln.st.FailedPredictions++
 			m.loseCopy(O, block, true)
-			t = m.send(O, H, stats.MsgInvalAck, t)
-			m.st.Invalidations++
+			t = m.send(ln, O, H, stats.MsgInvalAck, t)
+			ln.st.Invalidations++
 			t = m.ctrl(H, t, m.cfg.Timing.MemTime)
-			t = m.send(H, R, stats.MsgWriteReply, t)
+			t = m.send(ln, H, R, stats.MsgWriteReply, t)
 		} else {
 			// Dirty transfer through the home (4 hops).
 			m.loseCopy(O, block, true)
-			t = m.send(O, H, stats.MsgWriteback, t)
+			t = m.send(ln, O, H, stats.MsgWriteback, t)
 			t = m.ctrl(H, t, m.cfg.Timing.CtrlTime+m.cfg.Timing.MemTime)
-			t = m.send(H, R, stats.MsgWriteReply, t)
+			t = m.send(ln, H, R, stats.MsgWriteReply, t)
 		}
 	}
 
@@ -376,7 +370,7 @@ func (m *Machine) writeMiss(p *Proc, block memory.Addr, at uint64) uint64 {
 	e.Sharers = 0
 
 	t = m.ctrl(R, t, m.cfg.Timing.CtrlTime)
-	m.fill(p, block, cache.Modified, t)
+	m.fill(ln, p, block, cache.Modified, t)
 	m.complete(t)
 	return t
 }
@@ -385,23 +379,23 @@ func (m *Machine) writeMiss(p *Proc, block memory.Addr, at uint64) uint64 {
 // keep, collects their acknowledgements, and returns the time the last ack
 // reached the home. Copies are removed from the victims' caches and the
 // false-sharing classifier is informed (invalidation losses).
-func (m *Machine) invalidateSharers(e *directory.Entry, block memory.Addr, keep, H memory.NodeID, t uint64) uint64 {
+func (m *Machine) invalidateSharers(ln *lane, e *directory.Entry, block memory.Addr, keep, H memory.NodeID, t uint64) uint64 {
 	ackT := t
 	e.Sharers.ForEach(func(s memory.NodeID) {
 		if s == keep {
 			return
 		}
-		m.st.Invalidations++
-		ti := m.send(H, s, stats.MsgInval, t)
+		ln.st.Invalidations++
+		ti := m.send(ln, H, s, stats.MsgInval, t)
 		ti = m.ctrl(s, ti, m.cfg.Timing.CtrlTime)
-		if m.faults == nil || !m.faults.DropInvalidation(s, block, m.opCount, t) {
+		if m.faults == nil || !m.faults.DropInvalidation(s, block, ln.opCount, t) {
 			m.loseCopy(s, block, true)
 		}
 		// When the injector drops the invalidation the victim keeps its
 		// stale copy while the home forgets it — the lost-message bug the
 		// online checker must catch. The ack still "arrives": the home
 		// believes the invalidation succeeded.
-		ta := m.send(s, H, stats.MsgInvalAck, ti)
+		ta := m.send(ln, s, H, stats.MsgInvalAck, ti)
 		if ta > ackT {
 			ackT = ta
 		}
@@ -423,13 +417,13 @@ func (m *Machine) loseCopy(n memory.NodeID, block memory.Addr, byInvalidation bo
 // victims send a replacement hint so the directory stays exact (the
 // "Repl" transitions of Fig. 1). Victim traffic does not stall the
 // processor.
-func (m *Machine) fill(p *Proc, block memory.Addr, s cache.State, t uint64) {
+func (m *Machine) fill(ln *lane, p *Proc, block memory.Addr, s cache.State, t uint64) {
 	v, evicted := m.nodes[p.id].caches.Fill(block, s)
 	if !evicted {
 		return
 	}
-	if m.checker != nil {
-		m.touched = append(m.touched, v.Block)
+	if ln.checker != nil {
+		ln.touched = append(ln.touched, v.Block)
 	}
 	vHome := m.layout.Home(v.Block)
 	ve := m.dir.Entry(v.Block)
@@ -446,12 +440,12 @@ func (m *Machine) fill(p *Proc, block memory.Addr, s cache.State, t uint64) {
 			// LS-bit value (Section 3.1, case 3).
 			msg = stats.MsgReplHint
 		}
-		tv := m.send(p.id, vHome, msg, t)
+		tv := m.send(ln, p.id, vHome, msg, t)
 		m.ctrl(vHome, tv, m.cfg.Timing.CtrlTime+m.cfg.Timing.MemTime)
 		ve.State = directory.Uncached
 		ve.Owner = memory.NoNode
 	case cache.Shared:
-		tv := m.send(p.id, vHome, stats.MsgReplHint, t)
+		tv := m.send(ln, p.id, vHome, stats.MsgReplHint, t)
 		m.ctrl(vHome, tv, m.cfg.Timing.CtrlTime)
 		ve.Sharers.Remove(p.id)
 		if ve.Sharers.Empty() {

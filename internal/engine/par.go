@@ -1,0 +1,719 @@
+// Conservative parallel discrete-event scheduler (Config.Sched ==
+// SchedParallel): directory homes — and the processors co-numbered with
+// them — are partitioned round-robin into shards, each driven by a worker
+// goroutine, and the run alternates between two kinds of steps chosen by a
+// Chandy–Misra safe-time window computed over every parked operation:
+//
+//   - Batch round: when the earliest parked operation's clock lies
+//     strictly below the window W, every parked operation with clock < W
+//     is popped and serviced concurrently by its shard's worker. W is the
+//     minimum over all parked operations of a per-operation bound: the
+//     operation's own clock when its service could leave its shard
+//     (coordinator-only operations), or clock + advance, where advance is
+//     a lower bound on the latency of any operation the issuing processor
+//     could submit next (Machine.advance). Every batched operation is
+//     therefore shard-confined, and — because the serial schedulers
+//     service operations in globally ascending (clock, CPU id) order, and
+//     confined operations on the same state share a shard (and a worker,
+//     which services its batch in that same key order) — the concurrent
+//     services commute into the exact serial service order.
+//
+//   - Serial step: otherwise the coordinator services the head operation
+//     exactly as the run-ahead scheduler would (popServe: MaxCycles guard,
+//     spin re-arming and all).
+//
+// Program bodies NEVER run concurrently: after a batch round the serviced
+// processors are resumed one at a time in ascending key order, each under
+// a run-ahead lease bounded by the remaining processors' clocks, so
+// workload Go state and the engine's one-goroutine-at-a-time contract
+// (see Program) are untouched. The parallelism is confined to the pure
+// simulator state transitions, which is where the simulation spends its
+// time. Results are byte-identical to the serial and run-ahead schedulers
+// for every shard count, which the differential matrix tests enforce.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"lsnuma/internal/cache"
+	"lsnuma/internal/check"
+	"lsnuma/internal/directory"
+	"lsnuma/internal/memory"
+	"lsnuma/internal/network"
+	"lsnuma/internal/stats"
+)
+
+// MaxShards bounds Config.Shards (one worker goroutine per shard).
+const MaxShards = 64
+
+// seqFlushThreshold bounds how many buffered sequence events may
+// accumulate before a serial step forces a partial replay (batch rounds
+// replay on their own; a long streak of coordinator-only operations —
+// e.g. every global under the resilient layer — would otherwise grow the
+// buffers without bound).
+const seqFlushThreshold = 8192
+
+// seqEvent is one buffered classify.Sequences notification. The sequence
+// detector keeps a global logical clock, so its notifications must arrive
+// in exact serial service order; workers instead buffer them keyed by the
+// issuing operation's (clock, CPU) service key plus a per-lane issue
+// index, and the coordinator replays the global sort at quiescence
+// (Machine.replaySeq). The key is total: one operation is serviced by
+// exactly one lane, so (at, cpu) ties resolve within a single lane's idx.
+type seqEvent struct {
+	at    uint64
+	cpu   memory.NodeID
+	idx   uint64
+	block memory.Addr
+	src   memory.Source
+	write bool
+	elim  bool
+}
+
+// lane is the per-servicing-context state: one per shard worker plus one
+// for the coordinator. Under the serial and run-ahead schedulers only the
+// coordinator lane exists and aliases the machine's own collectors, so
+// those paths are unchanged; under the parallel scheduler each worker
+// gets private stats, a traffic-sink view of the network, a scoped
+// checker and private hook state, merged (stats) or replayed (sequence
+// events) at quiescence.
+type lane struct {
+	st      *stats.Stats
+	net     *network.Network
+	checker *check.Checker
+	touched []memory.Addr // blocks mutated by the current operation
+
+	// buffer redirects sequence notifications into seqBuf (parallel mode,
+	// all lanes including the coordinator); curAt/curCPU hold the service
+	// key of the operation currently inside service/runInline.
+	buffer bool
+	seqBuf []seqEvent
+	seqIdx uint64
+	curAt  uint64
+	curCPU memory.NodeID
+
+	opCount    uint64 // serviced memory operations (any scheduler path)
+	sinceSweep uint64 // ops since the last full sweep (check.Full)
+	isCoord    bool   // recorder, cancel polling, ring and sweeps live here
+}
+
+// noteSeqRead records a global-read sequence notification: direct when the
+// lane is not buffering, keyed into the lane's buffer otherwise.
+func (m *Machine) noteSeqRead(ln *lane, block memory.Addr, cpu memory.NodeID) {
+	if m.seq == nil {
+		return
+	}
+	if !ln.buffer {
+		m.seq.GlobalRead(block, cpu)
+		return
+	}
+	ln.seqBuf = append(ln.seqBuf, seqEvent{
+		at: ln.curAt, cpu: ln.curCPU, idx: ln.seqIdx, block: block,
+	})
+	ln.seqIdx++
+}
+
+// noteSeqWrite is noteSeqRead for global-write notifications.
+func (m *Machine) noteSeqWrite(ln *lane, block memory.Addr, cpu memory.NodeID, src memory.Source, eliminated bool) {
+	if m.seq == nil {
+		return
+	}
+	if !ln.buffer {
+		m.seq.GlobalWrite(block, cpu, src, eliminated)
+		return
+	}
+	ln.seqBuf = append(ln.seqBuf, seqEvent{
+		at: ln.curAt, cpu: ln.curCPU, idx: ln.seqIdx, block: block,
+		src: src, write: true, elim: eliminated,
+	})
+	ln.seqIdx++
+}
+
+// parRes is one worker's batch outcome: the first service failure (keyed
+// for deterministic cross-shard error selection), or success.
+type parRes struct {
+	err error
+	at  uint64
+	cpu memory.NodeID
+}
+
+// parShard is one shard's worker state.
+type parShard struct {
+	ln    *lane
+	batch []*op // this round's confined operations, in ascending key order
+	start chan struct{}
+	done  chan parRes
+}
+
+// parSched is the parallel scheduler's run state, built per Run.
+type parSched struct {
+	shards    []*parShard
+	nodeShard []int32            // node ID -> shard
+	shardMask []directory.Bitset // shard -> member-node bitset
+	// dirLimit is the allocator high-water mark at Run: directory pages
+	// below it are pre-allocated (directory.Grow), so workers never
+	// allocate pages; operations on blocks beyond it stay on the
+	// coordinator.
+	dirLimit memory.Addr
+	// wordHome reports that one 64-entry directory presence word never
+	// spans two homes (64*BlockSize <= PageSize), making the shared-mode
+	// load/store presence update single-writer per shard. Without it no
+	// global operation is ever shard-confined (hits still batch).
+	wordHome  bool
+	l1Min     uint64
+	l2Min     uint64
+	ctrlMin   uint64
+	lookahead uint64
+
+	served []*op // current round's batch, globally key-sorted
+	sufAt  []uint64
+	sufID  []memory.NodeID
+	carry  []seqEvent // buffered sequence events not yet safe to replay
+}
+
+// parallelOK reports whether the configuration is compatible with the
+// parallel scheduler. Incompatible runs silently use run-ahead (results
+// are byte-identical, so the fallback is invisible): protocol fault
+// injection and the crash ring are keyed to a single global op counter,
+// false-sharing classification is service-order-stateful with no buffered
+// replay, the map directory has no atomic presence path, and a zero L1
+// access time voids the strictly-increasing per-CPU clock the safe-window
+// argument rests on. MsgFaults and the resilient layer do NOT degrade:
+// they make every global operation coordinator-only, which preserves the
+// exact serial order of their verdict and jitter draws.
+func (m *Machine) parallelOK() bool {
+	return m.faults == nil && m.fs == nil && m.ring == nil &&
+		!m.cfg.MapDirectory && m.cfg.L1.AccessTime >= 1
+}
+
+// Scheduler returns the name of the scheduler a Run of this machine uses:
+// "serial", "runahead" or "parallel" (after fallbacks).
+func (m *Machine) Scheduler() string {
+	switch {
+	case m.cfg.SerialSchedule || m.recorder != nil || m.cfg.Sched == SchedSerial:
+		return "serial"
+	case m.cfg.Sched == SchedParallel && m.parallelOK():
+		return "parallel"
+	default:
+		return "runahead"
+	}
+}
+
+// newParSched builds the per-run parallel scheduler state. The shard
+// count defaults to the host's GOMAXPROCS; any count in [1, Nodes]
+// produces byte-identical Results, so a host-dependent default is safe.
+func newParSched(m *Machine) *parSched {
+	S := m.cfg.Shards
+	if S == 0 {
+		S = runtime.GOMAXPROCS(0)
+	}
+	if S > m.cfg.Nodes {
+		S = m.cfg.Nodes
+	}
+	if S > MaxShards {
+		S = MaxShards
+	}
+	if S < 1 {
+		S = 1
+	}
+	ps := &parSched{
+		nodeShard: make([]int32, m.cfg.Nodes),
+		wordHome:  64*m.layout.BlockSize <= m.layout.PageSize,
+		l1Min:     uint64(m.cfg.L1.AccessTime),
+		l2Min:     uint64(m.cfg.L2.AccessTime),
+		ctrlMin:   uint64(m.cfg.Timing.CtrlTime),
+		lookahead: m.cfg.Lookahead,
+	}
+	ps.shardMask = make([]directory.Bitset, S)
+	for n := range ps.nodeShard {
+		ps.nodeShard[n] = int32(n % S)
+		ps.shardMask[n%S].Add(memory.NodeID(n))
+	}
+	for i := 0; i < S; i++ {
+		ln := &lane{st: stats.New(m.cfg.Nodes), buffer: true}
+		ln.net = m.net.WithSink(ln.st)
+		if m.cfg.CheckLevel > check.Off {
+			var scope directory.Bitset
+			for n := 0; n < m.cfg.Nodes; n++ {
+				if ps.nodeShard[n] == int32(i) {
+					scope.Add(memory.NodeID(n))
+				}
+			}
+			ln.checker = check.NewScoped(m.layout, m.dir, m.hierarchies(), scope)
+			ln.touched = make([]memory.Addr, 0, 8)
+		}
+		ps.shards = append(ps.shards, &parShard{
+			ln:    ln,
+			start: make(chan struct{}),
+			done:  make(chan parRes, 1),
+		})
+	}
+	return ps
+}
+
+// holdersIn reports whether every cache holding block (per the directory)
+// lives in shard s. Coordinator-only (reads the directory quiescently).
+// This runs in the window scan's inner loop, so the membership test is a
+// single mask operation against the shard's precomputed node bitset.
+func (m *Machine) holdersIn(block memory.Addr, s int32) bool {
+	e, ok := m.dir.Lookup(block)
+	if !ok {
+		return true
+	}
+	return e.Holders()&^m.par.shardMask[s] == 0
+}
+
+// setConfined reports whether a fill of block into p's caches is
+// guaranteed to stay inside shard s: every resident line of the L2 set
+// block maps to — the candidate victims — has its home in s, lies below
+// the directory limit, and is held only within s (a replacement mutates
+// the victim's directory entry, which another shard's scoped checker may
+// otherwise be reading). The victim identity itself may shift as earlier
+// same-round fills consume ways, so the whole set is required, not a
+// predicted victim.
+func (m *Machine) setConfined(p *Proc, block memory.Addr, s int32) bool {
+	ps := m.par
+	ok := true
+	m.nodes[p.id].caches.L2SetBlocks(block, func(b memory.Addr) bool {
+		if b >= ps.dirLimit || ps.nodeShard[m.layout.Home(b)] != s || !m.holdersIn(b, s) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// advance returns the parked operation's clock-advance bound: a positive
+// lower bound, valid only when the operation's service is confined to its
+// own shard, on how far beyond the issue clock the issuing processor's
+// NEXT operation must be — or zero when the operation must be serviced
+// serially by the coordinator. Confinement must survive earlier same-round
+// services: a hit can degrade to a miss when a same-shard operation steals
+// the copy, so the fill condition is required wherever that is possible
+// (degradation only ever raises the true latency above the hit bound, and
+// holders can only be removed or stay in-shard, so the bound and the
+// confinement both remain valid).
+func (m *Machine) advance(o *op) uint64 {
+	ps := m.par
+	if o.rmw || o.spin != nil || o.size == 0 || m.resil != nil {
+		return 0
+	}
+	if !m.layout.SameBlock(o.addr, o.addr+memory.Addr(o.size)-1) {
+		return 0
+	}
+	p := o.proc
+	block := m.layout.Block(o.addr)
+	s := ps.nodeShard[p.id]
+	class := m.nodes[p.id].caches.Classify(block, o.kind)
+	inHome := block < ps.dirLimit && ps.nodeShard[m.layout.Home(block)] == s
+
+	var adv uint64
+	if class == cache.NoGlobal {
+		// Out-of-shard-home hits are class-stable: no operation on the
+		// block is batchable anywhere (its home shard would need every
+		// holder — including p — inside itself), so only p's own cache is
+		// touched. In-shard-home hits with every holder local can be
+		// degraded by an earlier same-shard service and need the fill
+		// condition; with a foreign holder they are class-stable again.
+		if ps.wordHome && inHome && m.holdersIn(block, s) && !m.setConfined(p, block, s) {
+			return 0
+		}
+		adv = ps.l1Min
+	} else {
+		if !ps.wordHome || !inHome || !m.holdersIn(block, s) || !m.setConfined(p, block, s) {
+			return 0
+		}
+		if o.kind == memory.Store && m.cfg.RelaxedWrites {
+			// The store retires into the write buffer after the local
+			// probe; only the local latency advances the clock.
+			adv = ps.l1Min
+			if class != cache.GlobalUpgrade {
+				adv += ps.l2Min
+			}
+		} else {
+			// Local probe + two controller services (home accept, final
+			// requester-side) + the network's minimum request and reply
+			// legs. Every global transaction path charges at least these.
+			local := ps.l1Min
+			if class != cache.GlobalUpgrade {
+				local += ps.l2Min
+			}
+			var netMin uint64
+			if H := m.layout.Home(block); H != p.id {
+				netMin = m.net.MinLatency(p.id, H) + m.net.MinRemoteLatency()
+			}
+			adv = local + 2*ps.ctrlMin + netMin
+		}
+	}
+	if ps.lookahead > 0 && adv > ps.lookahead {
+		adv = ps.lookahead
+	}
+	if adv < 1 {
+		adv = 1
+	}
+	return adv
+}
+
+// window computes the Chandy–Misra safe window W over every parked
+// operation: all services with key strictly below W are shard-confined,
+// and no operation — parked or future — can ever be submitted with a key
+// below W. A MaxCycles guard caps W so batched operations never bypass
+// the livelock check. The scan bails out as soon as W drops to the head
+// operation's clock — the caller then takes a serial step, and the exact
+// value of a non-batching W is irrelevant — which makes rounds with an
+// unconfinable head (the common case on serial-dominated phases) cost a
+// single confinement classification instead of a full heap scan. The
+// heap's array keeps the minimum at index 0, so the head is classified
+// first.
+func (m *Machine) window() uint64 {
+	W := ^uint64(0)
+	if m.cfg.MaxCycles > 0 {
+		W = m.cfg.MaxCycles + 1
+	}
+	headAt := m.h.a[0].at
+	for _, o := range m.h.a {
+		b := o.at
+		if adv := m.advance(o); adv > 0 {
+			if b+adv > b {
+				b += adv
+			} else {
+				b = ^uint64(0)
+			}
+		}
+		if b < W {
+			W = b
+		}
+		if W <= headAt {
+			return W
+		}
+	}
+	return W
+}
+
+// runBatch services one shard's batch on its worker goroutine, in
+// ascending key order. Panics (checker violations, engine bugs) are
+// converted to a keyed parRes so the coordinator can pick the globally
+// first failure deterministically.
+func (m *Machine) runBatch(s *parShard) (res parRes) {
+	cur := 0
+	defer func() {
+		if r := recover(); r != nil {
+			o := s.batch[cur]
+			res.err = recoveredError(o.proc.id, r)
+			res.at, res.cpu = o.at, o.proc.id
+		}
+	}()
+	for i, o := range s.batch {
+		cur = i
+		m.service(s.ln, o)
+	}
+	return res
+}
+
+// replaySeq gathers every lane's buffered sequence events, sorts them
+// into exact serial service order, and replays the prefix that can no
+// longer be preceded by any future event: everything strictly before the
+// earliest parked operation's key (everything, when final). The remainder
+// is carried to the next quiescent point.
+func (m *Machine) replaySeq(final bool) {
+	if m.seq == nil {
+		return
+	}
+	ps := m.par
+	floorAt, floorID := ^uint64(0), memory.NodeID(m.cfg.Nodes)
+	if !final {
+		if o := m.h.min(); o != nil {
+			floorAt, floorID = o.at, o.proc.id
+		} else {
+			final = true
+		}
+	}
+	carry := ps.carry
+	gather := func(ln *lane) {
+		carry = append(carry, ln.seqBuf...)
+		ln.seqBuf = ln.seqBuf[:0]
+	}
+	gather(m.coord)
+	for _, s := range ps.shards {
+		gather(s.ln)
+	}
+	if len(carry) == 0 {
+		ps.carry = carry
+		return
+	}
+	sort.Slice(carry, func(i, j int) bool {
+		a, b := carry[i], carry[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.cpu != b.cpu {
+			return a.cpu < b.cpu
+		}
+		return a.idx < b.idx
+	})
+	cut := len(carry)
+	if !final {
+		cut = sort.Search(len(carry), func(i int) bool {
+			e := carry[i]
+			return e.at > floorAt || (e.at == floorAt && e.cpu >= floorID)
+		})
+	}
+	for _, e := range carry[:cut] {
+		if e.write {
+			m.seq.GlobalWrite(e.block, e.cpu, e.src, e.elim)
+		} else {
+			m.seq.GlobalRead(e.block, e.cpu)
+		}
+	}
+	ps.carry = append(carry[:0], carry[cut:]...)
+}
+
+// drainPar terminates every remaining program goroutine after a parallel-
+// scheduler error: parked processors (heap entries plus any extra batch
+// operations whose processors were never resumed) are woken in turn —
+// each panics out through submit and reports a terminal event — and any
+// processor still running its prologue is answered as it arrives. alive
+// is the number of processors that have not yet sent a terminal event.
+func (m *Machine) drainPar(alive int, extra []*op) {
+	m.aborted = true
+	wake := func(o *op) {
+		p := o.proc
+		p.resume <- struct{}{}
+		// p.active is stable here: its owner goroutine is parked, and its
+		// last write happened before the channel operation that parked it.
+		if p.active {
+			<-m.park
+		} else {
+			<-m.events
+		}
+		alive--
+	}
+	for _, o := range extra {
+		if o != nil {
+			wake(o)
+		}
+	}
+	for {
+		o := m.h.pop()
+		if o == nil {
+			break
+		}
+		wake(o)
+	}
+	for alive > 0 {
+		ev := <-m.events
+		if ev.op != nil {
+			ev.proc.resume <- struct{}{}
+			continue
+		}
+		alive--
+	}
+}
+
+// scheduleParallel drives the batch-round / serial-step loop described in
+// the package comment at the top of this file. It runs on the Run
+// goroutine, like scheduleSerial; processors never hold the conch.
+func (m *Machine) scheduleParallel() (err error) {
+	ps := m.par
+	running := len(m.procs)
+	m.live = len(m.procs)
+	m.h.a = make([]*op, 0, len(m.procs))
+	m.coord.buffer = true
+
+	ps.dirLimit = memory.Addr(m.alloc.Used())
+	m.dir.Grow(ps.dirLimit)
+	m.dir.SetShared(true)
+
+	for _, s := range ps.shards {
+		go func(s *parShard) {
+			for range s.start {
+				s.done <- m.runBatch(s)
+			}
+		}(s)
+	}
+	defer func() {
+		for _, s := range ps.shards {
+			close(s.start)
+		}
+		m.dir.SetShared(false)
+		m.coord.buffer = false
+		for _, s := range ps.shards {
+			m.st.Merge(s.ln.st)
+		}
+		if r := recover(); r != nil {
+			cpu := memory.NoNode
+			if o := m.servicing; o != nil {
+				cpu = o.proc.id
+				m.servicing = nil
+				m.h.push(o)
+			}
+			m.drainPar(m.live, nil)
+			err = recoveredError(cpu, r)
+		}
+	}()
+
+	// Collect every processor's first operation (prologues run
+	// concurrently, exactly as under the other schedulers).
+	for running > 0 {
+		ev := <-m.events
+		running--
+		if ev.err != nil {
+			m.drainPar(m.live-1, nil)
+			return eventError(ev)
+		}
+		if ev.op == nil {
+			m.live--
+			continue
+		}
+		m.h.push(ev.op)
+	}
+
+	for m.live > 0 {
+		if m.cancel != nil {
+			if cerr := m.cancel(); cerr != nil {
+				m.drainPar(m.live, nil)
+				return &CancelledError{Err: cerr}
+			}
+		}
+		head := m.h.min()
+		if head == nil {
+			return fmt.Errorf("engine: deadlock — %d live processors but none runnable", m.live)
+		}
+		// A lone parked operation can never share a round with anything, and
+		// the singleton path below would service it on the coordinator
+		// anyway, so skip the window computation entirely.
+		W := head.at
+		if len(m.h.a) > 1 {
+			W = m.window()
+		}
+		if head.at >= W {
+			// Serial step: coordinator services the head exactly as the
+			// run-ahead scheduler would, then resumes its processor.
+			next, ok := m.popServe()
+			if !ok {
+				m.drainPar(m.live, nil)
+				return fmt.Errorf("engine: CPU %d exceeded MaxCycles=%d (livelock guard)", next.proc.id, m.cfg.MaxCycles)
+			}
+			m.grantLease(next.proc)
+			next.proc.resume <- struct{}{}
+			ev := <-m.park
+			if ev.err != nil {
+				m.drainPar(m.live-1, nil)
+				return eventError(ev)
+			}
+			if ev.op == nil {
+				m.live--
+			} else {
+				m.h.push(ev.op)
+			}
+			if len(m.coord.seqBuf) >= seqFlushThreshold {
+				m.replaySeq(false)
+			}
+			continue
+		}
+
+		// Batch round: pop everything below W (already in ascending key
+		// order) and fan it out to the shard workers.
+		ps.served = ps.served[:0]
+		for o := m.h.min(); o != nil && o.at < W; o = m.h.min() {
+			m.h.pop()
+			ps.served = append(ps.served, o)
+		}
+		if len(ps.served) == 1 {
+			// Singleton batch: a worker round-trip buys nothing, so the
+			// coordinator services it directly (same lane discipline —
+			// buffered sequence events, keyed service — as a worker; a
+			// panic flows to the deferred recover, which re-pushes the
+			// in-flight operation and drains, exactly like a serial step).
+			m.service(m.coord, ps.served[0])
+		} else {
+			for _, o := range ps.served {
+				s := ps.shards[ps.nodeShard[o.proc.id]]
+				s.batch = append(s.batch, o)
+			}
+			var firstErr error
+			var errAt uint64
+			var errCPU memory.NodeID
+			for _, s := range ps.shards {
+				if len(s.batch) > 0 {
+					s.start <- struct{}{}
+				}
+			}
+			for _, s := range ps.shards {
+				if len(s.batch) == 0 {
+					continue
+				}
+				res := <-s.done
+				s.batch = s.batch[:0]
+				if res.err != nil && (firstErr == nil || res.at < errAt || (res.at == errAt && res.cpu < errCPU)) {
+					firstErr, errAt, errCPU = res.err, res.at, res.cpu
+				}
+			}
+			if firstErr != nil {
+				// Every batched processor is still parked (workers never
+				// resume); wake them all alongside the heap's.
+				m.drainPar(m.live, ps.served)
+				return firstErr
+			}
+		}
+
+		// Resume phase: wake the serviced processors one at a time in
+		// ascending key order, each under a run-ahead lease bounded by the
+		// earliest possible next submission — the heap minimum or any
+		// still-unresumed serviced processor's clock (suffix minima).
+		n := len(ps.served)
+		if cap(ps.sufAt) < n+1 {
+			ps.sufAt = make([]uint64, n+1)
+			ps.sufID = make([]memory.NodeID, n+1)
+		}
+		sufAt, sufID := ps.sufAt[:n+1], ps.sufID[:n+1]
+		sufAt[n], sufID[n] = ^uint64(0), memory.NodeID(m.cfg.Nodes)
+		for i := n - 1; i >= 0; i-- {
+			sufAt[i], sufID[i] = sufAt[i+1], sufID[i+1]
+			p := ps.served[i].proc
+			if p.clock < sufAt[i] || (p.clock == sufAt[i] && p.id < sufID[i]) {
+				sufAt[i], sufID[i] = p.clock, p.id
+			}
+		}
+		for i, o := range ps.served {
+			p := o.proc
+			p.leaseAt, p.leaseID = sufAt[i+1], sufID[i+1]
+			if h := m.h.min(); h != nil &&
+				(h.at < p.leaseAt || (h.at == p.leaseAt && h.proc.id < p.leaseID)) {
+				p.leaseAt, p.leaseID = h.at, h.proc.id
+			}
+			p.resume <- struct{}{}
+			ev := <-m.park
+			if ev.err != nil {
+				m.drainPar(m.live-1, ps.served[i+1:])
+				return eventError(ev)
+			}
+			if ev.op == nil {
+				m.live--
+			} else {
+				m.h.push(ev.op)
+			}
+		}
+
+		m.replaySeq(false)
+		if m.coord.checker != nil && m.cfg.CheckLevel >= check.Full {
+			for _, s := range ps.shards {
+				m.coord.sinceSweep += s.ln.sinceSweep
+				s.ln.sinceSweep = 0
+			}
+			if m.coord.sinceSweep >= m.checkEvery {
+				m.coord.sinceSweep = 0
+				if cerr := m.coord.checker.CheckAll(W); cerr != nil {
+					m.drainPar(m.live, nil)
+					return cerr
+				}
+			}
+		}
+	}
+
+	m.replaySeq(true)
+	return m.finalCheck()
+}

@@ -157,6 +157,18 @@ func (p *Proc) submit(o op) {
 		p.active = !m.serial
 		return
 	}
+	if m.par != nil {
+		// Parallel scheduler: park with the coordinator and sleep until
+		// a batch round (or serial step) services the operation. The
+		// coordinator alone decides service order; program goroutines
+		// never drive scheduler steps here.
+		m.park <- event{proc: p, op: &p.pending}
+		<-p.resume
+		if m.aborted {
+			panic(abortProgram{notify: true})
+		}
+		return
+	}
 	m.h.push(&p.pending)
 	next, ok := m.popServe()
 	if !ok {
@@ -237,19 +249,21 @@ func (p *Proc) runInline(o *op) bool {
 	if m.nodes[p.id].caches.Classify(m.layout.Block(o.addr), o.kind) != cache.NoGlobal {
 		return false
 	}
-	if m.checker != nil {
+	ln := m.coord
+	ln.curAt, ln.curCPU = o.at, p.id
+	if ln.checker != nil {
 		// Same pre-transaction check as Machine.service (single block by
 		// the guard above). A violation panics out of the program function
 		// into its goroutine's recover, which aborts the run.
-		if err := m.checker.CheckBlock(o.addr, o.at); err != nil {
+		if err := ln.checker.CheckBlock(o.addr, o.at); err != nil {
 			panic(err)
 		}
 	}
-	m.accessBlock(p, o.addr, o.size, o.kind, false, o.excl)
+	m.accessBlock(ln, p, o.addr, o.size, o.kind, false, o.excl)
 	p.lastDone = p.clock
 	m.runAheadOps++
 	if m.hooks {
-		m.afterOp(o)
+		m.afterOp(ln, o)
 	}
 	return true
 }

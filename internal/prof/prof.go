@@ -1,7 +1,10 @@
 // Package prof wires the standard runtime/pprof profilers into the
 // command-line tools: a -cpuprofile flag captures where the simulator
 // spends its time (the scheduler work behind the run-ahead optimization
-// was found this way), a -memprofile flag captures heap allocations.
+// was found this way), a -memprofile flag captures heap allocations, and
+// -mutexprofile/-blockprofile capture lock contention and blocking —
+// the profiles that matter when tuning the parallel scheduler's
+// shard-worker handoffs.
 package prof
 
 import (
@@ -11,15 +14,25 @@ import (
 	"runtime/pprof"
 )
 
-// Start begins CPU profiling to cpuFile (when non-empty) and returns a
-// stop function that ends the CPU profile and writes a heap profile to
-// memFile (when non-empty). The stop function is safe to call more than
-// once, so tools can invoke it both from a defer and from their fatal
-// path before os.Exit.
-func Start(cpuFile, memFile string) (func(), error) {
+// Options names the profile outputs a tool wants; empty fields are off.
+type Options struct {
+	CPU   string // CPU profile file
+	Mem   string // heap profile file, written on stop
+	Mutex string // mutex-contention profile file, written on stop
+	Block string // blocking (channel/select/lock wait) profile file, written on stop
+}
+
+// Start begins CPU profiling (when requested) and arms the mutex and
+// block profilers (when requested; both sample every event, which is
+// cheap at the scheduler's handoff rate). It returns a stop function
+// that ends the CPU profile and writes the heap, mutex and block
+// profiles. The stop function is safe to call more than once, so tools
+// can invoke it both from a defer and from their fatal path before
+// os.Exit.
+func Start(opts Options) (func(), error) {
 	var cpu *os.File
-	if cpuFile != "" {
-		f, err := os.Create(cpuFile)
+	if opts.CPU != "" {
+		f, err := os.Create(opts.CPU)
 		if err != nil {
 			return nil, fmt.Errorf("cpu profile: %w", err)
 		}
@@ -28,6 +41,12 @@ func Start(cpuFile, memFile string) (func(), error) {
 			return nil, fmt.Errorf("cpu profile: %w", err)
 		}
 		cpu = f
+	}
+	if opts.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if opts.Block != "" {
+		runtime.SetBlockProfileRate(1)
 	}
 	stopped := false
 	return func() {
@@ -39,17 +58,29 @@ func Start(cpuFile, memFile string) (func(), error) {
 			pprof.StopCPUProfile()
 			cpu.Close()
 		}
-		if memFile != "" {
-			f, err := os.Create(memFile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "mem profile:", err)
-				return
-			}
+		if opts.Mem != "" {
 			runtime.GC() // materialize the final live set
-			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
-				fmt.Fprintln(os.Stderr, "mem profile:", err)
-			}
-			f.Close()
+			writeProfile("heap", opts.Mem)
 		}
+		writeProfile("mutex", opts.Mutex)
+		writeProfile("block", opts.Block)
 	}, nil
+}
+
+// writeProfile dumps the named runtime profile to file; a "" file means
+// the profile was not requested. Failures are reported, not fatal: the
+// run itself already finished.
+func writeProfile(name, file string) {
+	if file == "" {
+		return
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s profile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "%s profile: %v\n", name, err)
+	}
 }

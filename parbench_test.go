@@ -1,0 +1,147 @@
+package lsnuma
+
+// Host-core scaling measurements for the parallel scheduler. `go test
+// -run WriteParBenchJSON -parbenchjson BENCH_6.json .` benchmarks the
+// run-ahead scheduler (the single-threaded baseline) and the parallel
+// conservative scheduler at GOMAXPROCS 1, 2, 4 and 8 on the two figure
+// workloads with enough parked concurrency to shard (cholesky and mp3d
+// at 16 processors, scale=small), writing one JSON record per point:
+// wall-clock per full simulation, simulator throughput in simulated
+// memory operations per wall-clock second, and the speedup over the
+// run-ahead baseline. Every point must reproduce the baseline's
+// simulated cycles and operation counts exactly — the schedulers are
+// differential oracles for each other, so a scaling table comparing
+// different experiments would be a bug, not a measurement.
+//
+// The file checked in at the repo root records the numbers on the
+// machine that generated it, including num_cpu: scaling points beyond
+// the host's core count measure scheduling overhead, not parallelism,
+// and a single-core host cannot show any speedup at all (the
+// coordinator/worker handoffs and the per-round safe-window computation
+// are pure overhead there). Regenerate it when touching the engine hot
+// path or the parallel scheduler.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+)
+
+var parBenchJSONFlag = flag.String("parbenchjson", "", "write machine-readable parallel-scheduler scaling benchmarks to this file")
+
+// ParBenchPoint is one benchmarked configuration in the -parbenchjson
+// output.
+type ParBenchPoint struct {
+	Workload   string `json:"workload"`
+	Protocol   string `json:"protocol"`
+	Nodes      int    `json:"nodes"`
+	Scheduler  string `json:"scheduler"`  // "run-ahead" or "parallel"
+	GoMaxProcs int    `json:"gomaxprocs"` // host cores the measurement may use
+	Shards     int    `json:"shards"`     // home shards (0 on the run-ahead rows)
+
+	NsPerOp      float64 `json:"ns_per_op"`       // wall-clock per full simulation
+	SimCycles    uint64  `json:"sim_cycles"`      // simulated execution time
+	SimOps       uint64  `json:"sim_ops"`         // simulated loads + stores
+	SimOpsPerSec float64 `json:"sim_ops_per_sec"` // simulator throughput
+	Speedup      float64 `json:"speedup"`         // vs the run-ahead baseline of the same workload
+}
+
+// ParBenchReport is the top-level -parbenchjson document.
+type ParBenchReport struct {
+	GOOS    string          `json:"goos"`
+	GOARCH  string          `json:"goarch"`
+	NumCPU  int             `json:"num_cpu"`
+	Scale   string          `json:"scale"`
+	Results []ParBenchPoint `json:"results"`
+}
+
+func TestWriteParBenchJSON(t *testing.T) {
+	if *parBenchJSONFlag == "" {
+		t.Skip("set -parbenchjson <file> to generate parallel-scheduler scaling benchmarks")
+	}
+	// Restore the harness's parallelism when done — later tests in the
+	// same process must not inherit a pinned GOMAXPROCS.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+
+	workloads := []struct {
+		name  string
+		nodes int
+	}{
+		{"cholesky", 16},
+		{"mp3d", 16},
+	}
+	hostCores := []int{1, 2, 4, 8}
+	report := ParBenchReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(),
+		Scale: "small",
+	}
+	for _, w := range workloads {
+		cfg := DefaultConfig()
+		cfg.Nodes = w.nodes
+		cfg.Protocol = LS
+
+		measure := func(cfg Config, procs int) (float64, *Result) {
+			old := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(old)
+			var last *Result
+			br := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := Run(cfg, w.name, ScaleSmall)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+			})
+			return float64(br.NsPerOp()), last
+		}
+
+		// Baseline: the production run-ahead scheduler. It is
+		// single-threaded, so measure it at GOMAXPROCS=1.
+		baseNs, baseRes := measure(cfg, 1)
+		baseOps := baseRes.Loads + baseRes.Stores
+		report.Results = append(report.Results, ParBenchPoint{
+			Workload: w.name, Protocol: string(LS), Nodes: w.nodes,
+			Scheduler: "run-ahead", GoMaxProcs: 1,
+			NsPerOp: baseNs, SimCycles: baseRes.ExecTime, SimOps: baseOps,
+			SimOpsPerSec: float64(baseOps) / (baseNs / 1e9),
+			Speedup:      1,
+		})
+		t.Logf("%s/%d run-ahead: %.2fms/op, %.2fM sim-ops/s",
+			w.name, w.nodes, baseNs/1e6, float64(baseOps)/(baseNs/1e9)/1e6)
+
+		for _, procs := range hostCores {
+			pcfg := cfg
+			pcfg.Scheduler = "parallel"
+			pcfg.Shards = procs // one home shard per available core
+			ns, res := measure(pcfg, procs)
+			ops := res.Loads + res.Stores
+			if res.ExecTime != baseRes.ExecTime || ops != baseOps {
+				t.Errorf("%s/%d parallel@%d disagrees with run-ahead: %d cycles/%d ops vs %d cycles/%d ops",
+					w.name, w.nodes, procs, res.ExecTime, ops, baseRes.ExecTime, baseOps)
+			}
+			report.Results = append(report.Results, ParBenchPoint{
+				Workload: w.name, Protocol: string(LS), Nodes: w.nodes,
+				Scheduler: "parallel", GoMaxProcs: procs, Shards: procs,
+				NsPerOp: ns, SimCycles: res.ExecTime, SimOps: ops,
+				SimOpsPerSec: float64(ops) / (ns / 1e9),
+				Speedup:      baseNs / ns,
+			})
+			t.Logf("%s/%d parallel@%d: %.2fms/op, %.2fM sim-ops/s, %.2fx vs run-ahead",
+				w.name, w.nodes, procs, ns/1e6, float64(ops)/(ns/1e9)/1e6, baseNs/ns)
+		}
+	}
+
+	f, err := os.Create(*parBenchJSONFlag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+}
