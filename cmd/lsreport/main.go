@@ -38,6 +38,7 @@ var (
 	mshrsFlag    = flag.Int("mshrs", 0, "per-home directory transaction buffers (0 = unlimited)")
 	retryFlag    = flag.String("retry", "", "NACK/loss retry policy: max:N,base:C,cap:C,jitter:S (empty = retries off)")
 	schedFlag    = flag.String("scheduler", "", "scheduler for every point: runahead (default), serial, or parallel")
+	dirfmtFlag   = flag.String("dirformat", "", "directory wire format for every point: full (default), limited:i, or coarse:K")
 	shardsFlag   = flag.Int("shards", 0, "parallel scheduler home shards (0 = GOMAXPROCS)")
 	lookFlag     = flag.Uint64("lookahead", 0, "parallel scheduler safe-window cap in cycles (0 = uncapped)")
 	cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -185,6 +186,7 @@ func robust(cfg lsnuma.Config) lsnuma.Config {
 	cfg.Scheduler = *schedFlag
 	cfg.Shards = *shardsFlag
 	cfg.Lookahead = *lookFlag
+	cfg.DirFormat = *dirfmtFlag
 	return cfg
 }
 

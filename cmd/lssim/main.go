@@ -42,6 +42,7 @@ func main() {
 		jsonOut      = flag.Bool("json", false, "emit results as JSON instead of text")
 		serial       = flag.Bool("serial", false, "use the per-access handshake scheduler (slower; for debugging/differential runs)")
 		scheduler    = flag.String("scheduler", "", "scheduler: runahead (default), serial, or parallel (shard homes across host cores)")
+		dirformat    = flag.String("dirformat", "", "directory wire format: full (default), limited:i, or coarse:K")
 		shards       = flag.Int("shards", 0, "parallel scheduler home shards (0 = GOMAXPROCS)")
 		lookahead    = flag.Uint64("lookahead", 0, "parallel scheduler safe-window cap in cycles (0 = uncapped)")
 		checkLevel   = flag.String("check", "off", "online coherence invariant checking: off, touched, full")
@@ -85,6 +86,7 @@ func main() {
 	cfg.Scheduler = *scheduler
 	cfg.Shards = *shards
 	cfg.Lookahead = *lookahead
+	cfg.DirFormat = *dirformat
 	if cfg.Check, err = lsnuma.ParseCheckLevel(*checkLevel); err != nil {
 		fatal(err)
 	}

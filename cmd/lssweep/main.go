@@ -43,6 +43,8 @@ func main() {
 		scheduler    = flag.String("scheduler", "", "scheduler for every cell: runahead (default), serial, or parallel")
 		shards       = flag.Int("shards", 0, "parallel scheduler home shards (0 = GOMAXPROCS)")
 		lookahead    = flag.Uint64("lookahead", 0, "parallel scheduler safe-window cap in cycles (0 = uncapped)")
+		cpus         = flag.Int("cpus", 0, "processor count for every cell (0 = workload default; the nodes sweep overrides this)")
+		dirformat    = flag.String("dirformat", "", "directory wire format: full (default), limited:i, or coarse:K")
 		cacheFlag    = flag.Bool("cache", false, "memoize point results in the persistent result cache (default dir .lscache)")
 		cacheDir     = flag.String("cache-dir", "", "result cache directory (implies -cache)")
 		noCache      = flag.Bool("no-cache", false, "disable the result cache even if -cache/-cache-dir is given")
@@ -84,6 +86,10 @@ func main() {
 	base.Scheduler = *scheduler
 	base.Shards = *shards
 	base.Lookahead = *lookahead
+	if *cpus > 0 {
+		base.Nodes = *cpus
+	}
+	base.DirFormat = *dirformat
 
 	param, err := lsnuma.ParseSweepParam(*sweep)
 	if err != nil {

@@ -39,6 +39,7 @@ func main() {
 	flag.StringVar(&schedFlag, "scheduler", "", "scheduler for replay: runahead (default), serial, or parallel (capture always records serially)")
 	flag.IntVar(&shardsFlag, "shards", 0, "parallel scheduler home shards (0 = GOMAXPROCS)")
 	flag.Uint64Var(&lookFlag, "lookahead", 0, "parallel scheduler safe-window cap in cycles (0 = uncapped)")
+	flag.StringVar(&dirfmtFlag, "dirformat", "", "directory wire format: full (default), limited:i, or coarse:K")
 	flag.Parse()
 
 	switch {
@@ -65,6 +66,7 @@ var (
 	schedFlag  string
 	shardsFlag int
 	lookFlag   uint64
+	dirfmtFlag string
 )
 
 // buildMachine lowers a public config to an engine machine (trace capture
@@ -84,6 +86,7 @@ func buildMachine(workloadName, protoName string) (*engine.Machine, error) {
 	cfg.Scheduler = schedFlag
 	cfg.Shards = shardsFlag
 	cfg.Lookahead = lookFlag
+	cfg.DirFormat = dirfmtFlag
 	return lsnuma.NewEngineMachine(cfg)
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"lsnuma/internal/cache"
 	"lsnuma/internal/check"
+	"lsnuma/internal/directory"
 	"lsnuma/internal/engine"
 	"lsnuma/internal/fault"
 	"lsnuma/internal/network"
@@ -124,6 +125,22 @@ type Config struct {
 	// with Manhattan distance (an extension for distance-sensitive NUMA
 	// studies; mostly interesting at 16+ nodes).
 	Mesh2D bool
+	// Concentration attaches this many nodes to each mesh router (a
+	// concentrated mesh), keeping hop counts realistic at 256-1024 nodes:
+	// 1024 nodes with Concentration 4 route over a 16x16 router grid.
+	// Zero or one is the plain mesh; requires Mesh2D.
+	Concentration int
+	// DirFormat selects the directory wire format whose storage and
+	// invalidation behaviour the run models: "" or "full" (full-map
+	// presence vector, the paper's model), "limited:i" (Dir_i_B limited
+	// pointers, broadcast on overflow), or "coarse:K" (coarse vector, one
+	// bit per K processors). The exact sharer set remains simulation
+	// truth in every format — the simulated timeline, traffic, and every
+	// classic counter are byte-identical across formats; compact formats
+	// additionally report their architectural overshoot in Result.Dir
+	// (extra invalidations, broadcasts, overflows) and their modeled
+	// entry size in Result.Dir.EntryBits.
+	DirFormat string
 	// Protocol and Variant select the coherence policy.
 	Protocol Protocol
 	Variant  Variant
@@ -262,6 +279,11 @@ func (c Config) engineConfig() (engine.Config, error) {
 	if c.Mesh2D {
 		timing.Topology = network.Mesh2D
 	}
+	timing.Concentration = c.Concentration
+	dirFormat, err := directory.ParseFormat(c.DirFormat)
+	if err != nil {
+		return engine.Config{}, fmt.Errorf("lsnuma: %w", err)
+	}
 	maxCycles := c.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 100_000_000_000
@@ -318,6 +340,7 @@ func (c Config) engineConfig() (engine.Config, error) {
 		ProgressWindow:    c.ProgressWindow,
 		MsgFaults:         msgFaults,
 		MapDirectory:      c.MapDirectory,
+		DirFormat:         dirFormat,
 	}, nil
 }
 

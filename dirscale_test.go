@@ -1,0 +1,147 @@
+package lsnuma
+
+// Big-machine scaling measurements for the directory wire formats.
+// `go test -run WriteDirScaleJSON -dirscalejson BENCH_7.json .` runs mp3d
+// (scale=small, LS) at 32, 64, 256 and 1024 processors under the full-map,
+// limited-pointer and coarse-vector directory formats, writing one JSON
+// record per point: simulator throughput, wall-clock per simulated cycle
+// (raw and per-CPU-normalized), the modeled directory storage per block,
+// and the architectural invalidation overshoot of the compact formats.
+//
+// Two honesty notes on the recorded numbers. First, the formats are
+// timing-transparent by design, so within one processor count the rows
+// differ only in entry bits and overshoot counters — the throughput
+// spread across formats at fixed P is measurement noise. Second, host
+// work per simulated cycle necessarily grows with P (more processors do
+// more per cycle), so the "flat cost" claim is the per-CPU-cycle column
+// (wall / (sim cycles x P)), not the raw per-cycle one.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+var dirScaleJSONFlag = flag.String("dirscalejson", "", "write machine-readable directory-format scaling benchmarks to this file")
+
+// DirScalePoint is one benchmarked configuration in the -dirscalejson
+// output.
+type DirScalePoint struct {
+	Workload string `json:"workload"`
+	Protocol string `json:"protocol"`
+	Nodes    int    `json:"nodes"`
+	Format   string `json:"dir_format"`
+
+	EntryBits     int     `json:"entry_bits"`      // modeled sharer storage per directory entry
+	BytesPerEntry float64 `json:"bytes_per_entry"` // entry_bits / 8
+
+	WallNs       float64 `json:"wall_ns"`          // wall-clock of the full simulation
+	SimCycles    uint64  `json:"sim_cycles"`       // simulated execution time
+	SimOps       uint64  `json:"sim_ops"`          // simulated loads + stores
+	SimOpsPerSec float64 `json:"sim_ops_per_sec"`  // simulator throughput
+	NsPerCycle   float64 `json:"ns_per_cycle"`     // wall / sim_cycles
+	NsPerCPUCyc  float64 `json:"ns_per_cpu_cycle"` // wall / (sim_cycles * nodes)
+
+	Invalidations uint64 `json:"invalidations"` // exact protocol invalidations
+	ExtraInvals   uint64 `json:"extra_invals"`  // format overshoot beyond the exact set
+	Broadcasts    uint64 `json:"broadcasts"`    // limited-pointer broadcast rounds
+	Overflows     uint64 `json:"overflows"`     // limited-pointer capacity overflows
+}
+
+// DirScaleReport is the top-level -dirscalejson document.
+type DirScaleReport struct {
+	GOOS    string          `json:"goos"`
+	GOARCH  string          `json:"goarch"`
+	NumCPU  int             `json:"num_cpu"`
+	Scale   string          `json:"scale"`
+	Results []DirScalePoint `json:"results"`
+}
+
+func TestWriteDirScaleJSON(t *testing.T) {
+	if *dirScaleJSONFlag == "" {
+		t.Skip("set -dirscalejson <file> to generate directory-format scaling benchmarks")
+	}
+	nodeCounts := []int{32, 64, 256, 1024}
+	formats := []string{"full", "limited:4", "coarse:8"}
+	report := DirScaleReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(),
+		Scale: "small",
+	}
+	baseline := map[string]*DirScalePoint{} // format -> P=32 row
+	for _, nodes := range nodeCounts {
+		var ref *Result
+		for _, format := range formats {
+			cfg := DefaultConfig()
+			cfg.Nodes = nodes
+			cfg.Protocol = LS
+			cfg.DirFormat = format
+			start := time.Now()
+			res, err := Run(cfg, "mp3d", ScaleSmall)
+			if err != nil {
+				t.Fatalf("nodes=%d dirformat=%s: %v", nodes, format, err)
+			}
+			wall := float64(time.Since(start).Nanoseconds())
+			// The formats are differential oracles for each other: any
+			// simulated-timeline divergence within one P is a bug, not a
+			// measurement.
+			if ref == nil {
+				ref = res
+			} else if res.ExecTime != ref.ExecTime || res.Invalidations != ref.Invalidations {
+				t.Errorf("nodes=%d dirformat=%s diverges from full-map: %d cycles/%d invals vs %d/%d",
+					nodes, format, res.ExecTime, res.Invalidations, ref.ExecTime, ref.Invalidations)
+			}
+			ops := res.Loads + res.Stores
+			pt := DirScalePoint{
+				Workload: "mp3d", Protocol: string(LS), Nodes: nodes, Format: res.Dir.Format,
+				EntryBits:     res.Dir.EntryBits,
+				BytesPerEntry: float64(res.Dir.EntryBits) / 8,
+				WallNs:        wall,
+				SimCycles:     res.ExecTime,
+				SimOps:        ops,
+				SimOpsPerSec:  float64(ops) / (wall / 1e9),
+				NsPerCycle:    wall / float64(res.ExecTime),
+				NsPerCPUCyc:   wall / (float64(res.ExecTime) * float64(nodes)),
+				Invalidations: res.Invalidations,
+				ExtraInvals:   res.Dir.ExtraInvals,
+				Broadcasts:    res.Dir.Broadcasts,
+				Overflows:     res.Dir.Overflows,
+			}
+			report.Results = append(report.Results, pt)
+			if nodes == nodeCounts[0] {
+				p := pt
+				baseline[format] = &p
+			}
+			t.Logf("P=%-4d %-10s entry=%3db  %6.2fM sim-ops/s  %7.2f ns/cycle  %8.4f ns/cpu-cycle  extra-inv=%d",
+				nodes, format, pt.EntryBits, pt.SimOpsPerSec/1e6, pt.NsPerCycle, pt.NsPerCPUCyc, pt.ExtraInvals)
+		}
+	}
+	// The acceptance thresholds of the 1024-CPU point: compact storage at
+	// most a quarter of the full map, per-CPU cycle cost within 2x of the
+	// 32-CPU run.
+	for _, pt := range report.Results {
+		if pt.Nodes != 1024 {
+			continue
+		}
+		if pt.Format == "coarse:8" && pt.BytesPerEntry*4 > 1024.0/8 {
+			t.Errorf("coarse:8 at P=1024 costs %.1f B/entry, more than 1/4 of full-map's %d B",
+				pt.BytesPerEntry, 1024/8)
+		}
+		if base := baseline[pt.Format]; base != nil && pt.NsPerCPUCyc > 2*base.NsPerCPUCyc {
+			t.Errorf("%s per-CPU cycle cost at P=1024 (%.4f ns) exceeds 2x the P=32 cost (%.4f ns)",
+				pt.Format, pt.NsPerCPUCyc, base.NsPerCPUCyc)
+		}
+	}
+	f, err := os.Create(*dirScaleJSONFlag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -137,7 +137,7 @@ func NewScoped(layout memory.Layout, dir *directory.Directory, caches []*cache.H
 
 // inScope reports whether node i's cache may be probed by this checker.
 func (c *Checker) inScope(i int) bool {
-	return c.scope == 0 || c.scope.Has(memory.NodeID(i))
+	return c.scope.Empty() || c.scope.Has(memory.NodeID(i))
 }
 
 // violation builds a fully described CoherenceViolation for block.
@@ -175,7 +175,7 @@ func (c *Checker) describe(block memory.Addr) string {
 		b.WriteString(" none")
 	}
 	if e, ok := c.dir.Lookup(block); ok {
-		fmt.Fprintf(&b, "; home: %v owner=%d sharers=%b LS=%v LR=%d",
+		fmt.Fprintf(&b, "; home: %v owner=%d sharers=%v LS=%v LR=%d",
 			e.State, e.Owner, e.Sharers, e.LS, e.LR)
 	} else {
 		b.WriteString("; home: no entry")
@@ -245,7 +245,7 @@ func (c *Checker) CheckBlock(addr memory.Addr, cycle uint64) error {
 		case cache.Shared:
 			if e.State != directory.Shared || !e.Sharers.Has(n) {
 				return c.violation("directory-exactness", block, cycle,
-					"cpu %d holds Shared but home is %v with sharers %b", i, e.State, e.Sharers)
+					"cpu %d holds Shared but home is %v with sharers %v", i, e.State, e.Sharers)
 			}
 		}
 	}

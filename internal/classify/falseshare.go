@@ -1,6 +1,7 @@
 package classify
 
 import (
+	"lsnuma/internal/directory"
 	"lsnuma/internal/memory"
 )
 
@@ -41,15 +42,17 @@ func (k MissKind) String() string {
 }
 
 // fsBlock is the per-block tracking state of the false-sharing classifier.
+// The per-CPU sets are directory.Bitsets so the classifier works beyond 64
+// processors.
 type fsBlock struct {
 	wordTime   []uint64        // logical time of last write, per word
 	wordWriter []memory.NodeID // last writer, per word
 
-	resident  uint64 // bitmask: CPUs with an open residency
-	everHeld  uint64 // bitmask: CPUs that ever held the block
-	lostInval uint64 // bitmask: last residency ended by invalidation
-	essential uint64 // bitmask: open residency already proven essential
-	coherent  uint64 // bitmask: open residency began as a coherence miss
+	resident  directory.Bitset // CPUs with an open residency
+	everHeld  directory.Bitset // CPUs that ever held the block
+	lostInval directory.Bitset // last residency ended by invalidation
+	essential directory.Bitset // open residency already proven essential
+	coherent  directory.Bitset // open residency began as a coherence miss
 	lostTime  []uint64
 }
 
@@ -96,27 +99,26 @@ func (f *FalseSharing) block(block memory.Addr) *fsBlock {
 // be called before the corresponding OnAccess for the missing access.
 func (f *FalseSharing) OnMiss(cpu memory.NodeID, block memory.Addr) {
 	b := f.block(block)
-	bit := uint64(1) << uint(cpu)
-	if b.resident&bit != 0 {
+	if b.resident.Has(cpu) {
 		return // already resident (shouldn't happen; be tolerant)
 	}
-	b.resident |= bit
-	b.essential &^= bit
-	b.coherent &^= bit
-	if b.everHeld&bit == 0 {
+	b.resident.Add(cpu)
+	b.essential.Remove(cpu)
+	b.coherent.Remove(cpu)
+	if !b.everHeld.Has(cpu) {
 		// Cold miss: classified immediately; the residency is marked
 		// essential so its close doesn't double-count.
 		f.Misses[ColdMiss]++
-		b.everHeld |= bit
-		b.essential |= bit
+		b.everHeld.Add(cpu)
+		b.essential.Add(cpu)
 		return
 	}
-	if b.lostInval&bit != 0 {
-		b.coherent |= bit
+	if b.lostInval.Has(cpu) {
+		b.coherent.Add(cpu)
 	} else {
 		// Replacement miss: classified immediately.
 		f.Misses[ReplacementMiss]++
-		b.essential |= bit
+		b.essential.Add(cpu)
 	}
 }
 
@@ -126,15 +128,14 @@ func (f *FalseSharing) OnMiss(cpu memory.NodeID, block memory.Addr) {
 // block was last lost proves the current residency essential.
 func (f *FalseSharing) OnAccess(cpu memory.NodeID, addr memory.Addr, size uint32, kind memory.Kind) {
 	b := f.block(f.layout.Block(addr))
-	bit := uint64(1) << uint(cpu)
 	first := f.layout.WordInBlock(addr)
 	last := f.layout.WordInBlock(addr + memory.Addr(size) - 1)
 
-	if b.essential&bit == 0 && b.coherent&bit != 0 {
+	if !b.essential.Has(cpu) && b.coherent.Has(cpu) {
 		lost := b.lostTime[cpu]
 		for w := first; w <= last; w++ {
 			if b.wordTime[w] > lost && b.wordWriter[w] != cpu {
-				b.essential |= bit
+				b.essential.Add(cpu)
 				break
 			}
 		}
@@ -160,44 +161,40 @@ func (f *FalseSharing) OnAccess(cpu memory.NodeID, addr memory.Addr, size uint32
 // and therefore counts as new to the losing processor.
 func (f *FalseSharing) OnLose(cpu memory.NodeID, block memory.Addr, byInvalidation bool) {
 	b := f.block(block)
-	bit := uint64(1) << uint(cpu)
-	if b.resident&bit == 0 {
+	if !b.resident.Has(cpu) {
 		return
 	}
-	f.closeResidency(b, bit)
-	b.resident &^= bit
+	f.closeResidency(b, cpu)
+	b.resident.Remove(cpu)
 	if byInvalidation {
-		b.lostInval |= bit
+		b.lostInval.Add(cpu)
 	} else {
-		b.lostInval &^= bit
+		b.lostInval.Remove(cpu)
 	}
 	f.clock++
 	b.lostTime[cpu] = f.clock
 }
 
-func (f *FalseSharing) closeResidency(b *fsBlock, bit uint64) {
-	if b.coherent&bit == 0 {
+func (f *FalseSharing) closeResidency(b *fsBlock, cpu memory.NodeID) {
+	if !b.coherent.Has(cpu) {
 		return // cold or replacement miss, already classified
 	}
-	if b.essential&bit != 0 {
+	if b.essential.Has(cpu) {
 		f.Misses[TrueSharingMiss]++
 	} else {
 		f.Misses[FalseSharingMiss]++
 	}
-	b.coherent &^= bit
+	b.coherent.Remove(cpu)
 }
 
 // Finalize closes all open residencies at the end of the simulation so
 // their misses are classified.
 func (f *FalseSharing) Finalize() {
 	for _, b := range f.blocks {
-		rem := b.resident
-		for rem != 0 {
-			bit := rem & -rem
-			f.closeResidency(b, bit)
-			rem &^= bit
-		}
-		b.resident = 0
+		b.resident.ForEach(func(cpu memory.NodeID) {
+			f.closeResidency(b, cpu)
+		})
+		b.resident.Clear()
 	}
 }
 

@@ -17,9 +17,8 @@ import (
 	"lsnuma/internal/memory"
 )
 
-// MaxNodes is the largest supported machine size (presence bits are a
-// uint64 bitset).
-const MaxNodes = 64
+// bitsPerWord is the width of one presence word in a Bitset.
+const bitsPerWord = 64
 
 // HomeState is the directory (home-node) state of a memory block.
 type HomeState uint8
@@ -54,51 +53,190 @@ func (s HomeState) String() string {
 	}
 }
 
-// Bitset is a set of node IDs (presence bits).
-type Bitset uint64
+// Bitset is a set of node IDs (presence bits). The first 64 nodes live in
+// an inline word so machines up to 64 CPUs pay nothing extra; larger
+// machines lazily grow an extension array holding one word per further 64
+// nodes. The zero value is the empty set.
+//
+// Copies made by plain assignment share the extension storage, so a copied
+// Bitset must only be read, never mutated — the engine mutates sharer sets
+// exclusively through the canonical Entry in the directory, and clears them
+// in place with Clear rather than by assignment.
+type Bitset struct {
+	lo  uint64
+	ext []uint64
+}
+
+// Of returns the set containing exactly the given nodes.
+func Of(ns ...memory.NodeID) Bitset {
+	var b Bitset
+	for _, n := range ns {
+		b.Add(n)
+	}
+	return b
+}
 
 // Add inserts node n.
-func (b *Bitset) Add(n memory.NodeID) { *b |= 1 << uint(n) }
+func (b *Bitset) Add(n memory.NodeID) {
+	if uint(n) < bitsPerWord {
+		b.lo |= 1 << uint(n)
+		return
+	}
+	w := uint(n)/bitsPerWord - 1
+	if w >= uint(len(b.ext)) {
+		b.ext = append(b.ext, make([]uint64, w+1-uint(len(b.ext)))...)
+	}
+	b.ext[w] |= 1 << (uint(n) % bitsPerWord)
+}
 
 // Remove deletes node n.
-func (b *Bitset) Remove(n memory.NodeID) { *b &^= 1 << uint(n) }
+func (b *Bitset) Remove(n memory.NodeID) {
+	if uint(n) < bitsPerWord {
+		b.lo &^= 1 << uint(n)
+		return
+	}
+	if w := uint(n)/bitsPerWord - 1; w < uint(len(b.ext)) {
+		b.ext[w] &^= 1 << (uint(n) % bitsPerWord)
+	}
+}
+
+// Clear empties the set in place, keeping the extension storage.
+func (b *Bitset) Clear() {
+	b.lo = 0
+	for i := range b.ext {
+		b.ext[i] = 0
+	}
+}
 
 // Has reports whether node n is present.
-func (b Bitset) Has(n memory.NodeID) bool { return b&(1<<uint(n)) != 0 }
+func (b Bitset) Has(n memory.NodeID) bool {
+	if uint(n) < bitsPerWord {
+		return b.lo&(1<<uint(n)) != 0
+	}
+	w := uint(n)/bitsPerWord - 1
+	return w < uint(len(b.ext)) && b.ext[w]&(1<<(uint(n)%bitsPerWord)) != 0
+}
 
 // Count returns the number of nodes present.
-func (b Bitset) Count() int { return bits.OnesCount64(uint64(b)) }
+func (b Bitset) Count() int {
+	c := bits.OnesCount64(b.lo)
+	for _, w := range b.ext {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
 
 // Empty reports whether the set is empty.
-func (b Bitset) Empty() bool { return b == 0 }
+func (b Bitset) Empty() bool {
+	if b.lo != 0 {
+		return false
+	}
+	for _, w := range b.ext {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two sets have the same members.
+func (b Bitset) Equal(o Bitset) bool {
+	if b.lo != o.lo {
+		return false
+	}
+	long, short := b.ext, o.ext
+	if len(long) < len(short) {
+		long, short = short, long
+	}
+	for i, w := range long {
+		var ow uint64
+		if i < len(short) {
+			ow = short[i]
+		}
+		if w != ow {
+			return false
+		}
+	}
+	return true
+}
 
 // Only returns the single member if the set has exactly one, else NoNode.
 func (b Bitset) Only() memory.NodeID {
 	if b.Count() != 1 {
 		return memory.NoNode
 	}
-	return memory.NodeID(bits.TrailingZeros64(uint64(b)))
+	if b.lo != 0 {
+		return memory.NodeID(bits.TrailingZeros64(b.lo))
+	}
+	for i, w := range b.ext {
+		if w != 0 {
+			return memory.NodeID((i+1)*bitsPerWord + bits.TrailingZeros64(w))
+		}
+	}
+	return memory.NoNode
 }
 
 // Other returns the single member that is not n, if the set is exactly
 // {n, other}; otherwise NoNode.
 func (b Bitset) Other(n memory.NodeID) memory.NodeID {
-	rest := b
-	rest.Remove(n)
-	if b.Count() == 2 && b.Has(n) {
-		return rest.Only()
+	if b.Count() != 2 || !b.Has(n) {
+		return memory.NoNode
 	}
-	return memory.NoNode
+	other := memory.NoNode
+	b.ForEach(func(m memory.NodeID) {
+		if m != n {
+			other = m
+		}
+	})
+	return other
+}
+
+// SubsetOf reports whether every member of b is also in o.
+func (b Bitset) SubsetOf(o Bitset) bool {
+	if b.lo&^o.lo != 0 {
+		return false
+	}
+	for i, w := range b.ext {
+		var ow uint64
+		if i < len(o.ext) {
+			ow = o.ext[i]
+		}
+		if w&^ow != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // ForEach calls fn for every member in ascending order.
 func (b Bitset) ForEach(fn func(memory.NodeID)) {
-	v := uint64(b)
+	v := b.lo
 	for v != 0 {
-		n := bits.TrailingZeros64(v)
-		fn(memory.NodeID(n))
+		fn(memory.NodeID(bits.TrailingZeros64(v)))
 		v &= v - 1
 	}
+	for i, w := range b.ext {
+		base := (i + 1) * bitsPerWord
+		for w != 0 {
+			fn(memory.NodeID(base + bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}
+
+// String renders the set as {n1,n2,...} for diagnostics.
+func (b Bitset) String() string {
+	var sb []byte
+	sb = append(sb, '{')
+	first := true
+	b.ForEach(func(n memory.NodeID) {
+		if !first {
+			sb = append(sb, ',')
+		}
+		first = false
+		sb = fmt.Appendf(sb, "%d", n)
+	})
+	return string(append(sb, '}'))
 }
 
 // Entry is the directory state of one memory block.
@@ -119,6 +257,14 @@ type Entry struct {
 	// and de-tagging).
 	TagCount   uint8
 	DetagCount uint8
+
+	// Ovf marks a limited-pointer entry whose sharer count exceeded the
+	// pointer capacity: the wire format has degraded to broadcast for this
+	// block until the sharer set is next cleared. Sticky by design —
+	// evicted pointers cannot be reconstructed from i pointers. The exact
+	// sharer set above remains simulation truth regardless; Ovf only
+	// drives the architectural extra-invalidation accounting.
+	Ovf bool
 }
 
 // Holders returns the set of caches holding the block in any state.
@@ -133,7 +279,7 @@ func (e *Entry) Holders() Bitset {
 		}
 		return b
 	default:
-		return 0
+		return Bitset{}
 	}
 }
 
@@ -145,7 +291,7 @@ func (e *Entry) CheckInvariant() error {
 	switch e.State {
 	case Uncached:
 		if !e.Sharers.Empty() {
-			return fmt.Errorf("directory: Uncached entry with sharers %b", e.Sharers)
+			return fmt.Errorf("directory: Uncached entry with sharers %v", e.Sharers)
 		}
 	case Shared:
 		if e.Sharers.Empty() {
@@ -156,7 +302,7 @@ func (e *Entry) CheckInvariant() error {
 			return fmt.Errorf("directory: %v entry with no owner", e.State)
 		}
 		if !e.Sharers.Empty() {
-			return fmt.Errorf("directory: %v entry with sharers %b", e.State, e.Sharers)
+			return fmt.Errorf("directory: %v entry with sharers %v", e.State, e.Sharers)
 		}
 	default:
 		return fmt.Errorf("directory: invalid state %d", e.State)

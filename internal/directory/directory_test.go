@@ -89,15 +89,79 @@ func TestBitsetForEachOrder(t *testing.T) {
 	}
 }
 
+// fromWords builds a Bitset whose members are the set bits of the given
+// 64-bit words (word i covering nodes [i*64, i*64+64)).
+func fromWords(words ...uint64) Bitset {
+	var b Bitset
+	for i, w := range words {
+		for bit := 0; bit < 64; bit++ {
+			if w&(1<<uint(bit)) != 0 {
+				b.Add(memory.NodeID(i*64 + bit))
+			}
+		}
+	}
+	return b
+}
+
 func TestBitsetCountMatchesForEach(t *testing.T) {
-	f := func(v uint64) bool {
-		b := Bitset(v)
+	f := func(lo, hi uint64) bool {
+		b := fromWords(lo, hi)
 		n := 0
 		b.ForEach(func(memory.NodeID) { n++ })
 		return n == b.Count()
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestBitsetBeyond64(t *testing.T) {
+	var b Bitset
+	for _, n := range []memory.NodeID{0, 63, 64, 200, 1023} {
+		b.Add(n)
+	}
+	if b.Count() != 5 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	for _, n := range []memory.NodeID{0, 63, 64, 200, 1023} {
+		if !b.Has(n) {
+			t.Errorf("Has(%d) = false", n)
+		}
+	}
+	if b.Has(65) || b.Has(1024) || b.Has(4000) {
+		t.Error("Has reports absent high members")
+	}
+	b.Remove(200)
+	if b.Count() != 4 || b.Has(200) {
+		t.Fatalf("after Remove(200): %v", b)
+	}
+	var got []memory.NodeID
+	b.ForEach(func(n memory.NodeID) { got = append(got, n) })
+	want := []memory.NodeID{0, 63, 64, 1023}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order = %v, want %v", got, want)
+		}
+	}
+	if !b.Equal(Of(0, 63, 64, 1023)) || b.Equal(Of(0, 63, 64)) {
+		t.Error("Equal wrong across words")
+	}
+	b.Clear()
+	if !b.Empty() || !b.Equal(Bitset{}) {
+		t.Fatalf("Clear left members: %v", b)
+	}
+	two := Of(70, 900)
+	if two.Other(70) != 900 || two.Other(900) != 70 {
+		t.Errorf("Other across high words = %d/%d", two.Other(70), two.Other(900))
+	}
+	if Of(500).Only() != 500 {
+		t.Errorf("Only high member = %d", Of(500).Only())
+	}
+	if !Of(64, 128).SubsetOf(Of(1, 64, 128, 256)) || Of(64, 512).SubsetOf(Of(64)) {
+		t.Error("SubsetOf wrong across words")
 	}
 }
 
@@ -139,7 +203,7 @@ func TestInitHook(t *testing.T) {
 func TestEntryInvariants(t *testing.T) {
 	ok := []Entry{
 		{State: Uncached, Owner: memory.NoNode},
-		{State: Shared, Sharers: 0b1010, Owner: memory.NoNode},
+		{State: Shared, Sharers: Of(1, 3), Owner: memory.NoNode},
 		{State: Dirty, Owner: 2},
 		{State: Excl, Owner: 0},
 	}
@@ -149,11 +213,11 @@ func TestEntryInvariants(t *testing.T) {
 		}
 	}
 	bad := []Entry{
-		{State: Uncached, Sharers: 1, Owner: memory.NoNode},
+		{State: Uncached, Sharers: Of(0), Owner: memory.NoNode},
 		{State: Shared, Owner: memory.NoNode},
 		{State: Dirty, Owner: memory.NoNode},
 		{State: Excl, Owner: memory.NoNode},
-		{State: Dirty, Owner: 1, Sharers: 0b10},
+		{State: Dirty, Owner: 1, Sharers: Of(1)},
 		{State: HomeState(9)},
 	}
 	for i, e := range bad {
@@ -164,16 +228,16 @@ func TestEntryInvariants(t *testing.T) {
 }
 
 func TestHolders(t *testing.T) {
-	e := Entry{State: Shared, Sharers: 0b110, Owner: memory.NoNode}
-	if h := e.Holders(); h != 0b110 {
-		t.Errorf("Shared Holders = %b", h)
+	e := Entry{State: Shared, Sharers: Of(1, 2), Owner: memory.NoNode}
+	if h := e.Holders(); !h.Equal(Of(1, 2)) {
+		t.Errorf("Shared Holders = %v", h)
 	}
 	if !e.Holds(1) || e.Holds(0) {
 		t.Error("Holds wrong for Shared")
 	}
 	e = Entry{State: Dirty, Owner: 3}
 	if h := e.Holders(); !h.Has(3) || h.Count() != 1 {
-		t.Errorf("Dirty Holders = %b", h)
+		t.Errorf("Dirty Holders = %v", h)
 	}
 	e = Entry{State: Uncached, Owner: memory.NoNode}
 	if !e.Holders().Empty() {
@@ -253,6 +317,16 @@ func TestForEachAscendingOrder(t *testing.T) {
 	}
 }
 
+// entryEqual compares every Entry field; Entry stopped being Go-comparable
+// when Bitset grew its extension-word slice.
+func entryEqual(a, b *Entry) bool {
+	return a.State == b.State && a.Sharers.Equal(b.Sharers) &&
+		a.Owner == b.Owner && a.LR == b.LR && a.LS == b.LS &&
+		a.LastWriter == b.LastWriter && a.Migratory == b.Migratory &&
+		a.TagCount == b.TagCount && a.DetagCount == b.DetagCount &&
+		a.Ovf == b.Ovf
+}
+
 // TestBackendEquivalence drives both backends through an identical
 // mutation sequence and requires identical Len, Lookup and ForEach views.
 func TestBackendEquivalence(t *testing.T) {
@@ -265,7 +339,7 @@ func TestBackendEquivalence(t *testing.T) {
 		x = x*6364136223846793005 + 1442695040888963407
 		block := memory.Addr((x>>16)%4096) * 16
 		ef, em := flat.Entry(block), mp.Entry(block)
-		if *ef != *em {
+		if !entryEqual(ef, em) {
 			t.Fatalf("entries diverge at %#x: flat %+v map %+v", block, *ef, *em)
 		}
 		switch i % 3 {
@@ -276,7 +350,8 @@ func TestBackendEquivalence(t *testing.T) {
 		case 1:
 			ef.State, em.State = Dirty, Dirty
 			ef.Owner, em.Owner = memory.NodeID(i%4), memory.NodeID(i%4)
-			ef.Sharers, em.Sharers = 0, 0
+			ef.Sharers.Clear()
+			em.Sharers.Clear()
 		}
 	}
 	if flat.Len() != mp.Len() {
@@ -293,7 +368,7 @@ func TestBackendEquivalence(t *testing.T) {
 		t.Fatalf("ForEach sizes diverge: flat %d map %d", len(vf), len(vm))
 	}
 	for i := range vf {
-		if vf[i] != vm[i] {
+		if vf[i].idx != vm[i].idx || !entryEqual(&vf[i].e, &vm[i].e) {
 			t.Fatalf("ForEach diverges at %d: flat %+v map %+v", i, vf[i], vm[i])
 		}
 	}

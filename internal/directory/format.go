@@ -1,0 +1,180 @@
+package directory
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"lsnuma/internal/memory"
+)
+
+// FormatKind selects the directory's wire format — how a real machine
+// would encode the sharer set of each block. The simulator always tracks
+// the exact sharer set (simulation truth, and the differential oracle);
+// the wire format determines the modeled per-entry storage cost and the
+// architectural extra invalidations a compact encoding would send beyond
+// the exact set. Timing and protocol behaviour are format-independent, so
+// Results across formats are byte-identical modulo the Dir counters.
+type FormatKind uint8
+
+const (
+	// FullMap: one presence bit per CPU (the paper's directory). Exact;
+	// O(P) bits per entry.
+	FullMap FormatKind = iota
+	// LimitedPtr: Dir_i_B — i node pointers plus a broadcast bit. When a
+	// block gains more than i sharers the entry overflows and sticks in
+	// broadcast mode: invalidations go to every cache except the
+	// requester until the sharer set is next cleared.
+	LimitedPtr
+	// CoarseVector: one presence bit per group of Gran consecutive CPUs.
+	// Invalidations go to every CPU of every marked group.
+	CoarseVector
+)
+
+// Format is a parsed directory wire-format spec (Config.DirFormat).
+type Format struct {
+	Kind FormatKind
+	Ptrs int // LimitedPtr: number of pointers (the i of Dir_i_B)
+	Gran int // CoarseVector: CPUs per presence bit (the K of coarse:K)
+}
+
+// ParseFormat parses a directory format spec:
+//
+//	""ǀ"full"ǀ"fullmap"ǀ"full-map"  full presence-bit map (default)
+//	"limited:i" ǀ "ptr:i"           Dir_i_B limited pointers, i >= 1
+//	"coarse:K"                      coarse vector, K >= 1 CPUs per bit
+func ParseFormat(s string) (Format, error) {
+	switch strings.TrimSpace(s) {
+	case "", "full", "fullmap", "full-map":
+		return Format{Kind: FullMap}, nil
+	}
+	name, arg, ok := strings.Cut(strings.TrimSpace(s), ":")
+	if !ok {
+		return Format{}, fmt.Errorf("directory: unknown format %q (want full, limited:i, or coarse:K)", s)
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 1 {
+		return Format{}, fmt.Errorf("directory: format %q needs a positive integer argument", s)
+	}
+	switch name {
+	case "limited", "ptr":
+		return Format{Kind: LimitedPtr, Ptrs: n}, nil
+	case "coarse":
+		return Format{Kind: CoarseVector, Gran: n}, nil
+	}
+	return Format{}, fmt.Errorf("directory: unknown format %q (want full, limited:i, or coarse:K)", s)
+}
+
+// String renders the format in the spec grammar accepted by ParseFormat.
+func (f Format) String() string {
+	switch f.Kind {
+	case LimitedPtr:
+		return fmt.Sprintf("limited:%d", f.Ptrs)
+	case CoarseVector:
+		return fmt.Sprintf("coarse:%d", f.Gran)
+	default:
+		return "full"
+	}
+}
+
+// Validate checks the format against a machine size.
+func (f Format) Validate(nodes int) error {
+	switch f.Kind {
+	case FullMap:
+		return nil
+	case LimitedPtr:
+		if f.Ptrs < 1 {
+			return fmt.Errorf("directory: limited-pointer format needs at least 1 pointer")
+		}
+		return nil
+	case CoarseVector:
+		if f.Gran < 1 {
+			return fmt.Errorf("directory: coarse-vector format needs granularity >= 1")
+		}
+		if nodes > 0 && f.Gran > nodes {
+			return fmt.Errorf("directory: coarse-vector granularity %d exceeds machine size %d", f.Gran, nodes)
+		}
+		return nil
+	default:
+		return fmt.Errorf("directory: invalid format kind %d", f.Kind)
+	}
+}
+
+// EntryBits returns the modeled sharer-set storage cost of one directory
+// entry in bits: P for the full map, i*ceil(log2 P)+1 for Dir_i_B (i
+// pointers plus the broadcast bit), ceil(P/K) for a coarse vector.
+func (f Format) EntryBits(nodes int) int {
+	if nodes < 1 {
+		return 0
+	}
+	switch f.Kind {
+	case LimitedPtr:
+		ptrBits := bits.Len(uint(nodes - 1))
+		if ptrBits == 0 {
+			ptrBits = 1
+		}
+		return f.Ptrs*ptrBits + 1
+	case CoarseVector:
+		return (nodes + f.Gran - 1) / f.Gran
+	default:
+		return nodes
+	}
+}
+
+// ExtraInvals returns the architectural cost the wire format adds to an
+// invalidation round for entry e: how many invalidations beyond the exact
+// sharer set (minus keep, the requester) the encoding would send, and
+// whether the round is a limited-pointer broadcast. The exact count of
+// necessary invalidations is len(e.Sharers \ {keep}); a broadcast reaches
+// every cache except the requester, and a coarse vector reaches every CPU
+// of every marked group except the requester.
+func (f Format) ExtraInvals(e *Entry, keep memory.NodeID, nodes int) (extra uint64, broadcast bool) {
+	needed := e.Sharers.Count()
+	keepIsSharer := keep != memory.NoNode && e.Sharers.Has(keep)
+	if keepIsSharer {
+		needed--
+	}
+	switch f.Kind {
+	case LimitedPtr:
+		if !e.Ovf {
+			return 0, false
+		}
+		targets := nodes
+		if keep != memory.NoNode {
+			targets--
+		}
+		if targets < needed {
+			targets = needed
+		}
+		return uint64(targets - needed), true
+	case CoarseVector:
+		// Sum the populations of the marked groups (each group is Gran
+		// CPUs, the last possibly partial), skipping the requester if it
+		// falls in a marked group.
+		targets := 0
+		group := -1
+		e.Sharers.ForEach(func(n memory.NodeID) {
+			g := int(n) / f.Gran
+			if g == group {
+				return
+			}
+			group = g
+			lo := g * f.Gran
+			hi := lo + f.Gran
+			if hi > nodes {
+				hi = nodes
+			}
+			targets += hi - lo
+			if keep != memory.NoNode && int(keep) >= lo && int(keep) < hi {
+				targets--
+			}
+		})
+		if targets < needed {
+			targets = needed
+		}
+		return uint64(targets - needed), false
+	default:
+		return 0, false
+	}
+}

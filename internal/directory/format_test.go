@@ -1,0 +1,169 @@
+package directory
+
+import (
+	"testing"
+
+	"lsnuma/internal/memory"
+)
+
+func TestParseFormat(t *testing.T) {
+	good := map[string]Format{
+		"":          {Kind: FullMap},
+		"full":      {Kind: FullMap},
+		"fullmap":   {Kind: FullMap},
+		"full-map":  {Kind: FullMap},
+		" full ":    {Kind: FullMap},
+		"limited:4": {Kind: LimitedPtr, Ptrs: 4},
+		"ptr:1":     {Kind: LimitedPtr, Ptrs: 1},
+		"coarse:8":  {Kind: CoarseVector, Gran: 8},
+	}
+	for s, want := range good {
+		got, err := ParseFormat(s)
+		if err != nil {
+			t.Errorf("ParseFormat(%q): %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseFormat(%q) = %+v, want %+v", s, got, want)
+		}
+	}
+	bad := []string{"bogus", "limited", "limited:", "limited:0", "limited:-2",
+		"coarse:x", "coarse:0", "full:4", ":", "limited:4:2"}
+	for _, s := range bad {
+		if f, err := ParseFormat(s); err == nil {
+			t.Errorf("ParseFormat(%q) accepted as %+v", s, f)
+		}
+	}
+}
+
+func TestFormatStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"full", "limited:4", "coarse:8"} {
+		f, err := ParseFormat(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.String() != s {
+			t.Errorf("ParseFormat(%q).String() = %q", s, f.String())
+		}
+		back, err := ParseFormat(f.String())
+		if err != nil || back != f {
+			t.Errorf("round trip of %q: %+v, %v", s, back, err)
+		}
+	}
+}
+
+func TestFormatValidate(t *testing.T) {
+	if err := (Format{Kind: CoarseVector, Gran: 8}).Validate(4); err == nil {
+		t.Error("coarse granularity beyond machine size accepted")
+	}
+	if err := (Format{Kind: CoarseVector, Gran: 8}).Validate(1024); err != nil {
+		t.Errorf("valid coarse format rejected: %v", err)
+	}
+	if err := (Format{Kind: LimitedPtr, Ptrs: 4}).Validate(64); err != nil {
+		t.Errorf("valid limited format rejected: %v", err)
+	}
+	if err := (Format{Kind: FormatKind(9)}).Validate(4); err == nil {
+		t.Error("invalid format kind accepted")
+	}
+}
+
+func TestEntryBits(t *testing.T) {
+	cases := []struct {
+		f     Format
+		nodes int
+		want  int
+	}{
+		{Format{Kind: FullMap}, 64, 64},
+		{Format{Kind: FullMap}, 1024, 1024},
+		{Format{Kind: LimitedPtr, Ptrs: 4}, 64, 4*6 + 1},
+		{Format{Kind: LimitedPtr, Ptrs: 4}, 1024, 4*10 + 1},
+		{Format{Kind: LimitedPtr, Ptrs: 1}, 1, 1 + 1}, // 1-node pointer still takes one bit
+		{Format{Kind: CoarseVector, Gran: 8}, 1024, 128},
+		{Format{Kind: CoarseVector, Gran: 8}, 60, 8}, // partial last group
+		{Format{Kind: CoarseVector, Gran: 1}, 32, 32},
+	}
+	for _, tc := range cases {
+		if got := tc.f.EntryBits(tc.nodes); got != tc.want {
+			t.Errorf("%s.EntryBits(%d) = %d, want %d", tc.f, tc.nodes, got, tc.want)
+		}
+	}
+}
+
+func TestExtraInvalsLimited(t *testing.T) {
+	f := Format{Kind: LimitedPtr, Ptrs: 2}
+	e := &Entry{State: Shared, Sharers: Of(1, 2), Owner: memory.NoNode}
+	// Within pointer capacity: exact.
+	if extra, bcast := f.ExtraInvals(e, 3, 8); extra != 0 || bcast {
+		t.Errorf("non-overflowed entry: extra=%d bcast=%v", extra, bcast)
+	}
+	// Overflowed: broadcast to all 8 nodes minus the requester (7
+	// targets), 3 of which held the block.
+	e.Sharers.Add(5)
+	e.Ovf = true
+	if extra, bcast := f.ExtraInvals(e, 3, 8); extra != 4 || !bcast {
+		t.Errorf("overflowed entry: extra=%d bcast=%v, want 4 true", extra, bcast)
+	}
+	// Requester among the sharers: needed drops to 2, targets stay 7.
+	if extra, bcast := f.ExtraInvals(e, 2, 8); extra != 5 || !bcast {
+		t.Errorf("overflowed, requester sharing: extra=%d bcast=%v, want 5 true", extra, bcast)
+	}
+	// No requester (e.g. a replacement-driven round): all 8 targeted.
+	if extra, _ := f.ExtraInvals(e, memory.NoNode, 8); extra != 5 {
+		t.Errorf("overflowed, no requester: extra=%d, want 5", extra)
+	}
+}
+
+func TestExtraInvalsCoarse(t *testing.T) {
+	f := Format{Kind: CoarseVector, Gran: 4}
+	// Sharers 1 and 6 mark groups [0,4) and [4,8): 8 targets, 2 needed.
+	e := &Entry{State: Shared, Sharers: Of(1, 6), Owner: memory.NoNode}
+	if extra, bcast := f.ExtraInvals(e, memory.NoNode, 16); extra != 6 || bcast {
+		t.Errorf("two groups: extra=%d bcast=%v, want 6 false", extra, bcast)
+	}
+	// Requester inside a marked group is not targeted.
+	if extra, _ := f.ExtraInvals(e, 2, 16); extra != 5 {
+		t.Errorf("requester in marked group: extra=%d, want 5", extra)
+	}
+	// Requester outside every marked group changes nothing.
+	if extra, _ := f.ExtraInvals(e, 9, 16); extra != 6 {
+		t.Errorf("requester outside groups: extra=%d, want 6", extra)
+	}
+	// Partial last group is clipped at the machine size.
+	e2 := &Entry{State: Shared, Sharers: Of(13), Owner: memory.NoNode}
+	if extra, _ := f.ExtraInvals(e2, memory.NoNode, 14); extra != 1 {
+		t.Errorf("partial group: extra=%d, want 1 (group [12,14))", extra)
+	}
+	// Gran 1 is exact.
+	f1 := Format{Kind: CoarseVector, Gran: 1}
+	if extra, _ := f1.ExtraInvals(e, memory.NoNode, 16); extra != 0 {
+		t.Errorf("gran-1 coarse vector not exact: extra=%d", extra)
+	}
+}
+
+// FuzzParseFormat holds the Config.DirFormat parser to its contract: it
+// either rejects the input or returns a Format that validates, renders,
+// and re-parses to itself.
+func FuzzParseFormat(f *testing.F) {
+	for _, seed := range []string{"", "full", "fullmap", "full-map", "limited:4",
+		"ptr:1", "coarse:8", "coarse:1024", "limited:0", "coarse:-1",
+		"bogus", "limited:999999999999999999999", " coarse:8 ", "ptr:"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		fm, err := ParseFormat(s)
+		if err != nil {
+			return
+		}
+		if err := fm.Validate(0); err != nil {
+			t.Fatalf("ParseFormat(%q) = %+v fails Validate: %v", s, fm, err)
+		}
+		back, err := ParseFormat(fm.String())
+		if err != nil || back != fm {
+			t.Fatalf("ParseFormat(%q).String() = %q does not round-trip: %+v, %v",
+				s, fm.String(), back, err)
+		}
+		if fm.EntryBits(1024) < 1 {
+			t.Fatalf("ParseFormat(%q): EntryBits(1024) = %d", s, fm.EntryBits(1024))
+		}
+	})
+}

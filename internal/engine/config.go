@@ -21,6 +21,7 @@ import (
 
 	"lsnuma/internal/cache"
 	"lsnuma/internal/check"
+	"lsnuma/internal/directory"
 	"lsnuma/internal/fault"
 	"lsnuma/internal/network"
 	"lsnuma/internal/protocol"
@@ -40,6 +41,11 @@ type Timing struct {
 	// point-to-point by default; Mesh2D scales delay with Manhattan
 	// distance).
 	Topology network.Topology
+	// Concentration is the number of nodes sharing one mesh router (a
+	// concentrated mesh): hop counts are Manhattan distances on the router
+	// grid, so 256-1024-node machines keep realistic diameters. 0 or 1
+	// means one node per router. Mesh2D only.
+	Concentration int
 }
 
 // DefaultTiming returns the default latency parameters: memory 40 cycles
@@ -115,9 +121,14 @@ func ParseSched(s string) (Sched, error) {
 	}
 }
 
+// MaxNodes is the largest supported machine size. The directory's sharer
+// sets scale past 64 nodes (inline word plus extension words), so the cap
+// is only a sanity bound on simulation cost.
+const MaxNodes = 4096
+
 // Config describes the simulated machine.
 type Config struct {
-	// Nodes is the number of processor nodes (1..64).
+	// Nodes is the number of processor nodes (1..MaxNodes).
 	Nodes int
 	// L1 and L2 configure the per-node cache hierarchy. Both levels must
 	// use the same block size.
@@ -223,6 +234,13 @@ type Config struct {
 	// this is a conservativeness/debugging knob, not a correctness one.
 	// Ignored outside SchedParallel.
 	Lookahead uint64
+	// DirFormat selects the directory's wire format: full presence map
+	// (the default and the differential oracle), limited-pointer Dir_i_B,
+	// or coarse vector. The simulator always tracks the exact sharer set,
+	// so the format never changes timing or protocol behaviour; it sets
+	// the modeled per-entry storage cost and the architectural
+	// extra-invalidation counters (stats.Dir / Result.Dir).
+	DirFormat directory.Format
 }
 
 // SchemaVersion identifies the generation of simulated semantics: it is
@@ -230,12 +248,12 @@ type Config struct {
 // invalidated automatically when an engine change could alter any Result
 // field. Bump it in any PR that changes simulated timing, protocol
 // behaviour, or Result contents.
-const SchemaVersion = 6
+const SchemaVersion = 7
 
 // Validate checks the machine configuration.
 func (c Config) Validate() error {
-	if c.Nodes < 1 || c.Nodes > 64 {
-		return fmt.Errorf("engine: node count %d outside 1..64", c.Nodes)
+	if c.Nodes < 1 || c.Nodes > MaxNodes {
+		return fmt.Errorf("engine: node count %d outside 1..%d", c.Nodes, MaxNodes)
 	}
 	if err := c.L1.Validate(); err != nil {
 		return fmt.Errorf("engine: L1: %w", err)
@@ -268,6 +286,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: shard count %d outside 0..%d", c.Shards, MaxShards)
 	}
 	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	if err := c.DirFormat.Validate(c.Nodes); err != nil {
 		return err
 	}
 	return nil

@@ -51,7 +51,8 @@ func TestConfigValidation(t *testing.T) {
 	}
 	cases := []func(*Config){
 		func(c *Config) { c.Nodes = 0 },
-		func(c *Config) { c.Nodes = 65 },
+		func(c *Config) { c.Nodes = MaxNodes + 1 },
+		func(c *Config) { c.DirFormat = directory.Format{Kind: directory.CoarseVector, Gran: c.Nodes + 1} },
 		func(c *Config) { c.L1.BlockSize = 32 },
 		func(c *Config) { c.L1.Size = 0 },
 		func(c *Config) { c.L2.Size = 0 },

@@ -99,6 +99,10 @@ type Machine struct {
 	// heap-push protocol does not apply).
 	par  *parSched
 	park chan event
+	// winTrack arms the incremental safe window's dirty-event queues
+	// (Machine.noteDirty) for the duration of a parallel run; off
+	// everywhere else so the other schedulers pay one boolean test.
+	winTrack bool
 
 	// resil is the resilient transaction layer (finite home buffers,
 	// NACK/retry, message-fault recovery, forward-progress watchdog);
@@ -205,6 +209,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		BytesPerCycle: cfg.Timing.BytesPerCycle,
 		BlockSize:     cfg.L2.BlockSize,
 		Topology:      cfg.Timing.Topology,
+		Concentration: cfg.Timing.Concentration,
 	}, cfg.Nodes, st)
 	if err != nil {
 		return nil, err
@@ -282,6 +287,7 @@ func (m *Machine) Reset(cfg Config) error {
 		BytesPerCycle: cfg.Timing.BytesPerCycle,
 		BlockSize:     cfg.L2.BlockSize,
 		Topology:      cfg.Timing.Topology,
+		Concentration: cfg.Timing.Concentration,
 	}, cfg.Nodes, m.st)
 	if err != nil {
 		return err
@@ -340,6 +346,8 @@ func (m *Machine) Reset(cfg Config) error {
 	m.split = m.split[:0]
 	m.par = nil
 	m.park = nil
+	m.winTrack = false
+	m.h.onPush, m.h.onPop = nil, nil
 	return nil
 }
 

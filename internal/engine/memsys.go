@@ -178,6 +178,7 @@ func (m *Machine) readMiss(ln *lane, p *Proc, block memory.Addr, at uint64, want
 	H := m.layout.Home(block)
 	e := m.dir.Entry(block)
 	proto := m.cfg.Protocol
+	m.noteDirty(ln, H)
 
 	ln.st.ReadMisses[m.classifyReadMiss(e, block)]++
 	m.noteSeqRead(ln, block, R)
@@ -201,11 +202,11 @@ func (m *Machine) readMiss(ln *lane, p *Proc, block memory.Addr, at uint64, want
 			ln.st.ExclusiveGrants++
 			e.State = directory.Excl
 			e.Owner = R
-			e.Sharers = 0
+			m.clearSharers(e)
 			fill = cache.LStemp
 		} else {
 			e.State = directory.Shared
-			e.Sharers.Add(R)
+			m.addSharer(ln, e, R)
 			e.Owner = memory.NoNode
 			fill = cache.Shared
 		}
@@ -231,13 +232,14 @@ func (m *Machine) readMiss(ln *lane, p *Proc, block memory.Addr, at uint64, want
 			proto.NoteFailedPrediction(e)
 			ln.st.FailedPredictions++
 			m.nodes[O].caches.Downgrade(block)
+			m.noteDirty(ln, O)
 			m.send(ln, O, H, stats.MsgNotLS, t)
 			m.send(ln, O, H, stats.MsgUpdate, t)
 			t = m.send(ln, O, R, stats.MsgReadReply, t)
 			e.State = directory.Shared
-			e.Sharers = 0
-			e.Sharers.Add(O)
-			e.Sharers.Add(R)
+			m.clearSharers(e)
+			m.addSharer(ln, e, O)
+			m.addSharer(ln, e, R)
 			e.Owner = memory.NoNode
 			fill = cache.Shared
 		} else {
@@ -252,16 +254,17 @@ func (m *Machine) readMiss(ln *lane, p *Proc, block memory.Addr, at uint64, want
 				// invalidated and the requester receives an exclusive
 				// copy.
 				ln.st.ExclusiveGrants++
-				m.loseCopy(O, block, true)
+				m.loseCopy(ln, O, block, true)
 				e.State = directory.Excl
 				e.Owner = R
 				fill = cache.LStemp
 			} else {
 				m.nodes[O].caches.Downgrade(block)
+				m.noteDirty(ln, O)
 				e.State = directory.Shared
-				e.Sharers = 0
-				e.Sharers.Add(O)
-				e.Sharers.Add(R)
+				m.clearSharers(e)
+				m.addSharer(ln, e, O)
+				m.addSharer(ln, e, R)
 				e.Owner = memory.NoNode
 				fill = cache.Shared
 			}
@@ -283,9 +286,10 @@ func (m *Machine) upgrade(ln *lane, p *Proc, block memory.Addr, at uint64) uint6
 	R := p.id
 	H := m.layout.Home(block)
 	e := m.dir.Entry(block)
+	m.noteDirty(ln, H)
 
 	if e.State != directory.Shared || !e.Sharers.Has(R) {
-		panic(fmt.Sprintf("engine: upgrade of block %#x by %d but home state %v sharers %b",
+		panic(fmt.Sprintf("engine: upgrade of block %#x by %d but home state %v sharers %v",
 			block, R, e.State, e.Sharers))
 	}
 
@@ -301,7 +305,7 @@ func (m *Machine) upgrade(ln *lane, p *Proc, block memory.Addr, at uint64) uint6
 
 	e.State = directory.Dirty
 	e.Owner = R
-	e.Sharers = 0
+	m.clearSharers(e)
 
 	t = m.send(ln, H, R, stats.MsgOwnAck, t)
 	t = m.ctrl(R, t, m.cfg.Timing.CtrlTime)
@@ -317,6 +321,7 @@ func (m *Machine) writeMiss(ln *lane, p *Proc, block memory.Addr, at uint64) uin
 	H := m.layout.Home(block)
 	e := m.dir.Entry(block)
 	proto := m.cfg.Protocol
+	m.noteDirty(ln, H)
 
 	ln.st.GlobalWriteMisses++
 	if tagged := proto.NoteGlobalWrite(e, R, false); tagged {
@@ -351,14 +356,14 @@ func (m *Machine) writeMiss(ln *lane, p *Proc, block memory.Addr, at uint64) uin
 			// the home supplies the data after the owner's ack.
 			proto.NoteFailedPrediction(e)
 			ln.st.FailedPredictions++
-			m.loseCopy(O, block, true)
+			m.loseCopy(ln, O, block, true)
 			t = m.send(ln, O, H, stats.MsgInvalAck, t)
 			ln.st.Invalidations++
 			t = m.ctrl(H, t, m.cfg.Timing.MemTime)
 			t = m.send(ln, H, R, stats.MsgWriteReply, t)
 		} else {
 			// Dirty transfer through the home (4 hops).
-			m.loseCopy(O, block, true)
+			m.loseCopy(ln, O, block, true)
 			t = m.send(ln, O, H, stats.MsgWriteback, t)
 			t = m.ctrl(H, t, m.cfg.Timing.CtrlTime+m.cfg.Timing.MemTime)
 			t = m.send(ln, H, R, stats.MsgWriteReply, t)
@@ -367,7 +372,7 @@ func (m *Machine) writeMiss(ln *lane, p *Proc, block memory.Addr, at uint64) uin
 
 	e.State = directory.Dirty
 	e.Owner = R
-	e.Sharers = 0
+	m.clearSharers(e)
 
 	t = m.ctrl(R, t, m.cfg.Timing.CtrlTime)
 	m.fill(ln, p, block, cache.Modified, t)
@@ -389,7 +394,7 @@ func (m *Machine) invalidateSharers(ln *lane, e *directory.Entry, block memory.A
 		ti := m.send(ln, H, s, stats.MsgInval, t)
 		ti = m.ctrl(s, ti, m.cfg.Timing.CtrlTime)
 		if m.faults == nil || !m.faults.DropInvalidation(s, block, ln.opCount, t) {
-			m.loseCopy(s, block, true)
+			m.loseCopy(ln, s, block, true)
 		}
 		// When the injector drops the invalidation the victim keeps its
 		// stale copy while the home forgets it — the lost-message bug the
@@ -400,15 +405,59 @@ func (m *Machine) invalidateSharers(ln *lane, e *directory.Entry, block memory.A
 			ackT = ta
 		}
 	})
+	// Compact wire formats (limited-pointer overflow, coarse vector) would
+	// invalidate a superset of the exact sharer set. The extra victims hold
+	// no copy, so the round's timing and the simulated timeline are
+	// unchanged; the cost is counted architecturally, like PR 4's
+	// resilience counters, so Results stay byte-identical across formats
+	// modulo the Dir block.
+	if f := m.cfg.DirFormat; f.Kind != directory.FullMap {
+		extra, bcast := f.ExtraInvals(e, keep, m.cfg.Nodes)
+		ln.st.Dir.ExtraInvals += extra
+		if bcast {
+			ln.st.Dir.Broadcasts++
+		}
+	}
 	return ackT
 }
 
 // loseCopy removes node n's copy of block (invalidation or downgrade-free
 // loss) and informs the false-sharing classifier.
-func (m *Machine) loseCopy(n memory.NodeID, block memory.Addr, byInvalidation bool) {
+func (m *Machine) loseCopy(ln *lane, n memory.NodeID, block memory.Addr, byInvalidation bool) {
 	m.nodes[n].caches.Invalidate(block)
+	m.noteDirty(ln, n)
 	if m.fs != nil {
 		m.fs.OnLose(n, block, byInvalidation)
+	}
+}
+
+// addSharer inserts R into e's sharer set and models the wire format's
+// capacity: under a limited-pointer directory, exceeding the pointer count
+// sets the sticky overflow bit and counts the event. The exact set remains
+// simulation truth, so protocol behaviour is format-independent.
+func (m *Machine) addSharer(ln *lane, e *directory.Entry, R memory.NodeID) {
+	e.Sharers.Add(R)
+	if f := m.cfg.DirFormat; f.Kind == directory.LimitedPtr && !e.Ovf && e.Sharers.Count() > f.Ptrs {
+		e.Ovf = true
+		ln.st.Dir.Overflows++
+	}
+}
+
+// clearSharers empties e's sharer set in place and rearms the wire-format
+// overflow bit (the entry gets fresh pointers on its next sharing phase).
+func (m *Machine) clearSharers(e *directory.Entry) {
+	e.Sharers.Clear()
+	e.Ovf = false
+}
+
+// noteDirty records that node n's observable state changed during the
+// current service: either n's cache contents (invalidation/downgrade) or a
+// directory entry homed at n. The parallel scheduler's incremental window
+// drains these per-lane queues to recompute only the affected parked-op
+// bounds. A no-op outside parallel runs.
+func (m *Machine) noteDirty(ln *lane, n memory.NodeID) {
+	if m.winTrack {
+		ln.dirty = append(ln.dirty, n)
 	}
 }
 
@@ -427,6 +476,7 @@ func (m *Machine) fill(ln *lane, p *Proc, block memory.Addr, s cache.State, t ui
 	}
 	vHome := m.layout.Home(v.Block)
 	ve := m.dir.Entry(v.Block)
+	m.noteDirty(ln, vHome)
 	switch v.State {
 	case cache.Modified, cache.LStemp:
 		if ve.Owner != p.id || (ve.State != directory.Dirty && ve.State != directory.Excl) {

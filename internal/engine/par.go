@@ -94,6 +94,15 @@ type lane struct {
 	curAt  uint64
 	curCPU memory.NodeID
 
+	// dirty queues the nodes whose observable state this lane changed
+	// since the coordinator's last drain: the victims of invalidations and
+	// downgrades (their cache contents changed) and the homes of mutated
+	// directory entries. The incremental safe window recomputes only the
+	// parked-op bounds that depend on these nodes (Machine.noteDirty,
+	// parWindow.drain). Appended by at most one goroutine at a time (the
+	// lane's owner), drained at quiescent points only.
+	dirty []memory.NodeID
+
 	opCount    uint64 // serviced memory operations (any scheduler path)
 	sinceSweep uint64 // ops since the last full sweep (check.Full)
 	isCoord    bool   // recorder, cancel polling, ring and sweeps live here
@@ -171,6 +180,213 @@ type parSched struct {
 	sufAt  []uint64
 	sufID  []memory.NodeID
 	carry  []seqEvent // buffered sequence events not yet safe to replay
+
+	win *parWindow // incremental safe-window state
+}
+
+// parWindow maintains the Chandy–Misra safe window incrementally across
+// rounds. Every parked operation carries a cached conservative bound
+// (op.bound, registered at heap push, retired at pop) in an indexed
+// min-heap keyed (bound, cpu), and a reverse index maps each node to the
+// parked operations whose bound was computed from that node's state (the
+// issuing node's cache, or directory entries homed there). Services queue
+// the nodes they touch on their lane's dirty list; the coordinator drains
+// the lists at quiescent points and recomputes only the affected bounds,
+// so the per-round window cost is O(dirty), not O(parked) — the scan that
+// dominated coordination overhead at large P.
+//
+// Soundness: a cached bound may only ever be stale-LOW safe, never
+// stale-high. Bounds change only when the op's dependency footprint
+// changes — its own node's cache contents (invalidation/downgrade by
+// another node; the op's own services recompute at the next push) or a
+// directory entry homed at a footprint node — and every such mutation
+// site calls noteDirty with the matching key, so any event that could
+// lower a bound forces its recomputation before the next window read. The
+// window is the exact minimum over the same per-op bounds the previous
+// full scan computed, so batch/serial decisions — and therefore Results —
+// are unchanged.
+type parWindow struct {
+	bh        []*op    // indexed min-heap of parked ops on (bound, cpu)
+	homeOps   [][]*op  // node -> parked ops depending on that node
+	scratch   []*op    // dedup'd recompute set for the current drain
+	nodeStamp []uint64 // node -> last drain pass that scanned it
+	pass      uint64   // current drain pass (winStamp dedup)
+
+	// Counters for the O(dirty) regression guard (Machine.WindowStats).
+	rounds     uint64 // window reads answered
+	recomputes uint64 // bound recomputations triggered by dirty events
+	pushes     uint64 // bound computations at heap push
+}
+
+// boundBefore orders the bound heap: smallest cached bound first, ties by
+// CPU id (any total order works; this one is deterministic).
+func boundBefore(x, y *op) bool {
+	return x.bound < y.bound || (x.bound == y.bound && x.proc.id < y.proc.id)
+}
+
+func (w *parWindow) bhUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !boundBefore(w.bh[i], w.bh[parent]) {
+			break
+		}
+		w.bh[i], w.bh[parent] = w.bh[parent], w.bh[i]
+		w.bh[i].bhIdx, w.bh[parent].bhIdx = int32(i), int32(parent)
+		i = parent
+	}
+}
+
+func (w *parWindow) bhDown(i int) {
+	n := len(w.bh)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && boundBefore(w.bh[r], w.bh[c]) {
+			c = r
+		}
+		if !boundBefore(w.bh[c], w.bh[i]) {
+			break
+		}
+		w.bh[i], w.bh[c] = w.bh[c], w.bh[i]
+		w.bh[i].bhIdx, w.bh[c].bhIdx = int32(i), int32(c)
+		i = c
+	}
+}
+
+func (w *parWindow) bhInsert(o *op) {
+	o.bhIdx = int32(len(w.bh))
+	w.bh = append(w.bh, o)
+	w.bhUp(int(o.bhIdx))
+}
+
+func (w *parWindow) bhRemove(o *op) {
+	i := int(o.bhIdx)
+	n := len(w.bh) - 1
+	last := w.bh[n]
+	w.bh[n] = nil
+	w.bh = w.bh[:n]
+	o.bhIdx = -1
+	if i == n {
+		return
+	}
+	w.bh[i] = last
+	last.bhIdx = int32(i)
+	w.bhUp(i)
+	w.bhDown(int(last.bhIdx))
+}
+
+// winCompute recomputes o's bound and dependency footprint against
+// current machine state (advance fills o.deps) and indexes the footprint
+// in homeOps.
+func (m *Machine) winCompute(o *op) {
+	w := m.par.win
+	b := o.at
+	if adv := m.advance(o); adv > 0 {
+		if b+adv > b {
+			b += adv
+		} else {
+			b = ^uint64(0)
+		}
+	}
+	o.bound = b
+	o.depPos = o.depPos[:0]
+	for _, d := range o.deps {
+		o.depPos = append(o.depPos, int32(len(w.homeOps[d])))
+		w.homeOps[d] = append(w.homeOps[d], o)
+	}
+}
+
+// winDeref drops o's footprint registrations from homeOps (swap-remove,
+// fixing the displaced op's back-index).
+func (m *Machine) winDeref(o *op) {
+	w := m.par.win
+	for i, d := range o.deps {
+		list := w.homeOps[d]
+		pos := int(o.depPos[i])
+		n := len(list) - 1
+		moved := list[n]
+		list[pos] = moved
+		list[n] = nil
+		w.homeOps[d] = list[:n]
+		if moved != o {
+			for j, md := range moved.deps {
+				if md == d {
+					moved.depPos[j] = int32(pos)
+					break
+				}
+			}
+		}
+	}
+	o.deps = o.deps[:0]
+	o.depPos = o.depPos[:0]
+}
+
+// winRegister computes o's bound and footprint and enters it into the
+// window structures. Called from the heap's onPush hook — always at a
+// quiescent point (the coordinator owns all simulator state when anything
+// is pushed).
+func (m *Machine) winRegister(o *op) {
+	m.par.win.pushes++
+	m.winCompute(o)
+	m.par.win.bhInsert(o)
+}
+
+// winUnregister retires a popped op from the window structures.
+func (m *Machine) winUnregister(o *op) {
+	m.winDeref(o)
+	m.par.win.bhRemove(o)
+}
+
+// drainWinDirty absorbs every lane's dirty queue: each parked operation
+// depending on a dirtied node gets its bound and footprint recomputed
+// against current state. Coordinator-only, at quiescent points.
+func (m *Machine) drainWinDirty() {
+	ps := m.par
+	w := ps.win
+	w.pass++
+	w.scratch = w.scratch[:0]
+	collect := func(ln *lane) {
+		for _, d := range ln.dirty {
+			if w.nodeStamp[d] == w.pass {
+				continue
+			}
+			w.nodeStamp[d] = w.pass
+			for _, o := range w.homeOps[d] {
+				if o.winStamp != w.pass {
+					o.winStamp = w.pass
+					w.scratch = append(w.scratch, o)
+				}
+			}
+		}
+		ln.dirty = ln.dirty[:0]
+	}
+	collect(m.coord)
+	for _, s := range ps.shards {
+		collect(s.ln)
+	}
+	for _, o := range w.scratch {
+		w.recomputes++
+		m.winDeref(o)
+		m.winCompute(o)
+		w.bhUp(int(o.bhIdx))
+		w.bhDown(int(o.bhIdx))
+	}
+}
+
+// WindowStats returns the parallel scheduler's incremental-window
+// counters from the machine's last run: window reads answered, per-op
+// bound recomputations triggered by dirty events, and bound computations
+// at heap push. Zero outside parallel runs. The parbench regression guard
+// asserts recomputes scale with serviced operations (the dirty set), not
+// with rounds x parked operations.
+func (m *Machine) WindowStats() (rounds, recomputes, pushes uint64) {
+	if m.par == nil || m.par.win == nil {
+		return 0, 0, 0
+	}
+	w := m.par.win
+	return w.rounds, w.recomputes, w.pushes
 }
 
 // parallelOK reports whether the configuration is compatible with the
@@ -225,6 +441,10 @@ func newParSched(m *Machine) *parSched {
 		l2Min:     uint64(m.cfg.L2.AccessTime),
 		ctrlMin:   uint64(m.cfg.Timing.CtrlTime),
 		lookahead: m.cfg.Lookahead,
+		win: &parWindow{
+			homeOps:   make([][]*op, m.cfg.Nodes),
+			nodeStamp: make([]uint64, m.cfg.Nodes),
+		},
 	}
 	ps.shardMask = make([]directory.Bitset, S)
 	for n := range ps.nodeShard {
@@ -255,14 +475,24 @@ func newParSched(m *Machine) *parSched {
 
 // holdersIn reports whether every cache holding block (per the directory)
 // lives in shard s. Coordinator-only (reads the directory quiescently).
-// This runs in the window scan's inner loop, so the membership test is a
-// single mask operation against the shard's precomputed node bitset.
+// This runs in the bound computation's inner loop, so it switches on the
+// home state directly instead of materializing Holders() — the sharer
+// case is a subset test against the shard's precomputed node bitset, the
+// owner cases a single membership bit, and neither allocates even past 64
+// nodes.
 func (m *Machine) holdersIn(block memory.Addr, s int32) bool {
 	e, ok := m.dir.Lookup(block)
 	if !ok {
 		return true
 	}
-	return e.Holders()&^m.par.shardMask[s] == 0
+	switch e.State {
+	case directory.Shared:
+		return e.Sharers.SubsetOf(m.par.shardMask[s])
+	case directory.Dirty, directory.Excl:
+		return e.Owner == memory.NoNode || m.par.shardMask[s].Has(e.Owner)
+	default:
+		return true
+	}
 }
 
 // setConfined reports whether a fill of block into p's caches is
@@ -273,10 +503,17 @@ func (m *Machine) holdersIn(block memory.Addr, s int32) bool {
 // otherwise be reading). The victim identity itself may shift as earlier
 // same-round fills consume ways, so the whole set is required, not a
 // predicted victim.
-func (m *Machine) setConfined(p *Proc, block memory.Addr, s int32) bool {
+// The op o, when non-nil, collects the homes of every visited candidate
+// as window dependencies: a mutation of any of their directory entries
+// can flip the confinement verdict, so those homes are part of the op's
+// incremental-window footprint.
+func (m *Machine) setConfined(o *op, p *Proc, block memory.Addr, s int32) bool {
 	ps := m.par
 	ok := true
 	m.nodes[p.id].caches.L2SetBlocks(block, func(b memory.Addr) bool {
+		if o != nil {
+			o.addDep(m.layout.Home(b))
+		}
 		if b >= ps.dirLimit || ps.nodeShard[m.layout.Home(b)] != s || !m.holdersIn(b, s) {
 			ok = false
 			return false
@@ -284,6 +521,18 @@ func (m *Machine) setConfined(p *Proc, block memory.Addr, s int32) bool {
 		return true
 	})
 	return ok
+}
+
+// addDep appends node n to the op's window footprint if not yet present
+// (footprints are tiny — issuing node, block home, a few victim homes —
+// so the linear dedup beats any set structure).
+func (o *op) addDep(n memory.NodeID) {
+	for _, d := range o.deps {
+		if d == n {
+			return
+		}
+	}
+	o.deps = append(o.deps, n)
 }
 
 // advance returns the parked operation's clock-advance bound: a positive
@@ -298,7 +547,10 @@ func (m *Machine) setConfined(p *Proc, block memory.Addr, s int32) bool {
 // confinement both remain valid).
 func (m *Machine) advance(o *op) uint64 {
 	ps := m.par
+	o.deps = o.deps[:0]
 	if o.rmw || o.spin != nil || o.size == 0 || m.resil != nil {
+		// Statically coordinator-only: the bound is the op's own clock
+		// forever, so no dependency footprint is needed.
 		return 0
 	}
 	if !m.layout.SameBlock(o.addr, o.addr+memory.Addr(o.size)-1) {
@@ -307,6 +559,11 @@ func (m *Machine) advance(o *op) uint64 {
 	p := o.proc
 	block := m.layout.Block(o.addr)
 	s := ps.nodeShard[p.id]
+	// The bound depends on p's own cache state (the classification and the
+	// victim-candidate set) and on the directory entry of the block; the
+	// victim candidates' homes are added by setConfined as visited.
+	o.addDep(p.id)
+	o.addDep(m.layout.Home(block))
 	class := m.nodes[p.id].caches.Classify(block, o.kind)
 	inHome := block < ps.dirLimit && ps.nodeShard[m.layout.Home(block)] == s
 
@@ -318,12 +575,12 @@ func (m *Machine) advance(o *op) uint64 {
 		// touched. In-shard-home hits with every holder local can be
 		// degraded by an earlier same-shard service and need the fill
 		// condition; with a foreign holder they are class-stable again.
-		if ps.wordHome && inHome && m.holdersIn(block, s) && !m.setConfined(p, block, s) {
+		if ps.wordHome && inHome && m.holdersIn(block, s) && !m.setConfined(o, p, block, s) {
 			return 0
 		}
 		adv = ps.l1Min
 	} else {
-		if !ps.wordHome || !inHome || !m.holdersIn(block, s) || !m.setConfined(p, block, s) {
+		if !ps.wordHome || !inHome || !m.holdersIn(block, s) || !m.setConfined(o, p, block, s) {
 			return 0
 		}
 		if o.kind == memory.Store && m.cfg.RelaxedWrites {
@@ -357,38 +614,23 @@ func (m *Machine) advance(o *op) uint64 {
 	return adv
 }
 
-// window computes the Chandy–Misra safe window W over every parked
+// window returns the Chandy–Misra safe window W over every parked
 // operation: all services with key strictly below W are shard-confined,
 // and no operation — parked or future — can ever be submitted with a key
 // below W. A MaxCycles guard caps W so batched operations never bypass
-// the livelock check. The scan bails out as soon as W drops to the head
-// operation's clock — the caller then takes a serial step, and the exact
-// value of a non-batching W is irrelevant — which makes rounds with an
-// unconfinable head (the common case on serial-dominated phases) cost a
-// single confinement classification instead of a full heap scan. The
-// heap's array keeps the minimum at index 0, so the head is classified
-// first.
+// the livelock check. W is the exact minimum of the incrementally
+// maintained per-op bounds (see parWindow) — the same minimum the
+// previous full-heap scan computed, read off the bound heap in O(1); the
+// caller has already drained the dirty queues this iteration.
 func (m *Machine) window() uint64 {
+	w := m.par.win
+	w.rounds++
 	W := ^uint64(0)
 	if m.cfg.MaxCycles > 0 {
 		W = m.cfg.MaxCycles + 1
 	}
-	headAt := m.h.a[0].at
-	for _, o := range m.h.a {
-		b := o.at
-		if adv := m.advance(o); adv > 0 {
-			if b+adv > b {
-				b += adv
-			} else {
-				b = ^uint64(0)
-			}
-		}
-		if b < W {
-			W = b
-		}
-		if W <= headAt {
-			return W
-		}
+	if len(w.bh) > 0 && w.bh[0].bound < W {
+		W = w.bh[0].bound
 	}
 	return W
 }
@@ -527,6 +769,13 @@ func (m *Machine) scheduleParallel() (err error) {
 	m.dir.Grow(ps.dirLimit)
 	m.dir.SetShared(true)
 
+	// Incremental safe window: the heap hooks keep parWindow tracking
+	// exactly the parked operations, and winTrack arms the per-lane dirty
+	// queues the drains consume.
+	m.h.onPush = m.winRegister
+	m.h.onPop = m.winUnregister
+	m.winTrack = true
+
 	for _, s := range ps.shards {
 		go func(s *parShard) {
 			for range s.start {
@@ -535,6 +784,11 @@ func (m *Machine) scheduleParallel() (err error) {
 		}(s)
 	}
 	defer func() {
+		// Disarm the window hooks before anything touches the heap below:
+		// the recover path re-pushes the in-flight op into a machine whose
+		// state may be mid-mutation, where a bound computation could fault.
+		m.h.onPush, m.h.onPop = nil, nil
+		m.winTrack = false
 		for _, s := range ps.shards {
 			close(s.start)
 		}
@@ -582,9 +836,12 @@ func (m *Machine) scheduleParallel() (err error) {
 		if head == nil {
 			return fmt.Errorf("engine: deadlock — %d live processors but none runnable", m.live)
 		}
+		// Absorb the state changes of the previous step into the cached
+		// per-op bounds (O(events since last drain), not O(parked)).
+		m.drainWinDirty()
 		// A lone parked operation can never share a round with anything, and
 		// the singleton path below would service it on the coordinator
-		// anyway, so skip the window computation entirely.
+		// anyway, so skip the window read entirely.
 		W := head.at
 		if len(m.h.a) > 1 {
 			W = m.window()

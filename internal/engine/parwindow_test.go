@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"testing"
+
+	"lsnuma/internal/cache"
+	"lsnuma/internal/memory"
+	"lsnuma/internal/protocol"
+)
+
+// TestWindowScanIsIncremental is the regression guard for the parallel
+// scheduler's incremental safe-window maintenance: on a workload of
+// processors touching only their own node-local pages, each serviced
+// operation dirties at most its own home, so per-round bound maintenance
+// must visit O(dirty) parked operations — not rescan all P parked
+// operations every round the way the original full confinement scan did.
+// The guard holds recomputes to a small multiple of heap pushes; the old
+// behaviour is rounds x parked, orders of magnitude larger.
+func TestWindowScanIsIncremental(t *testing.T) {
+	const nodes = 32
+	cfg := Config{
+		Nodes:          nodes,
+		L1:             cache.Config{Size: 4 * 1024, Assoc: 1, BlockSize: 16, AccessTime: 1},
+		L2:             cache.Config{Size: 64 * 1024, Assoc: 1, BlockSize: 16, AccessTime: 10},
+		PageSize:       4096,
+		Timing:         DefaultTiming(),
+		Protocol:       protocol.New(protocol.LS, protocol.Variant{}),
+		TrackSequences: true,
+		MaxCycles:      200_000_000,
+		Sched:          SchedParallel,
+		Shards:         4,
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each processor walks its own page (round-robin placement homes page
+	// i at node i%nodes, so page p is local to CPU p): all misses are
+	// private, and the only directory mutations are at the issuer's own
+	// home.
+	prog := func(p *Proc) {
+		base := memory.Addr(int(p.ID())) * 4096
+		for i := 0; i < 400; i++ {
+			a := base + memory.Addr((i%128)*16)
+			p.Read(a)
+			p.Write(a)
+			p.Compute(7)
+		}
+	}
+	progs := make([]Program, nodes)
+	for i := range progs {
+		progs[i] = prog
+	}
+	if err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	rounds, recomputes, pushes := m.WindowStats()
+	if pushes == 0 || rounds == 0 {
+		t.Fatalf("window never engaged: rounds=%d recomputes=%d pushes=%d", rounds, recomputes, pushes)
+	}
+	t.Logf("rounds=%d recomputes=%d pushes=%d", rounds, recomputes, pushes)
+	// Incremental: recomputes track the dirty set (a few per serviced
+	// global operation). The pre-incremental scan recomputed every parked
+	// op every round — about rounds*nodes, far beyond this budget.
+	if recomputes > 8*pushes {
+		t.Errorf("bound recomputations not O(dirty): recomputes=%d > 8*pushes=%d", recomputes, 8*pushes)
+	}
+	if full := rounds * nodes; recomputes > full/4 {
+		t.Errorf("bound recomputations near full-rescan volume: recomputes=%d vs rounds*nodes=%d", recomputes, full)
+	}
+}

@@ -38,6 +38,19 @@ type op struct {
 	// re-arms the read spin.step busy cycles later without waking the
 	// processor's goroutine (Machine.popServe).
 	spin *spinState
+
+	// Incremental safe-window bookkeeping (parallel scheduler only; see
+	// parWindow). bound is the cached conservative Chandy–Misra bound for
+	// this parked op; bhIdx its position in the bound heap; deps the node
+	// footprint whose state the bound was computed from (the issuing node
+	// plus the homes of the block and every candidate L2 victim), with
+	// depPos the op's back-indices inside parWindow.homeOps; winStamp
+	// dedups recomputation within one dirty drain.
+	bound    uint64
+	bhIdx    int32
+	deps     []memory.NodeID
+	depPos   []int32
+	winStamp uint64
 }
 
 // spinState is the predicate pair of a declarative spin-wait. Both

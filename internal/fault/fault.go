@@ -244,7 +244,7 @@ func (inj *Injector) Tick(t Target, opIndex, cycle uint64) {
 		c := cs[inj.rng.Intn(len(cs))]
 		switch c.entry.State {
 		case directory.Shared:
-			c.entry.Sharers = 0
+			c.entry.Sharers.Clear()
 			inj.fire(opIndex, cycle, blockOf(c), memory.NoNode, "cleared all sharers of a Shared entry")
 		default: // Dirty, Excl
 			old := c.entry.Owner

@@ -51,6 +51,12 @@ type Config struct {
 	BlockSize uint64
 	// Topology selects the hop-count model (default PointToPoint).
 	Topology Topology
+	// Concentration is the number of nodes attached to each mesh router
+	// (a concentrated mesh, the standard way to keep hop counts realistic
+	// at hundreds to thousands of nodes: a 1024-node machine with
+	// Concentration 4 routes over a 16x16 router grid instead of 32x32).
+	// Zero or one means the plain mesh; only meaningful with Mesh2D.
+	Concentration int
 }
 
 // Validate checks the configuration.
@@ -64,8 +70,14 @@ func (c Config) Validate() error {
 	if c.BlockSize == 0 {
 		return fmt.Errorf("network: zero block size")
 	}
+	if c.Concentration < 0 {
+		return fmt.Errorf("network: negative concentration %d", c.Concentration)
+	}
 	switch c.Topology {
 	case PointToPoint:
+		if c.Concentration > 1 {
+			return fmt.Errorf("network: concentration %d is only meaningful with the %s topology", c.Concentration, Mesh2D)
+		}
 	case Mesh2D:
 		// A zero hop delay silently collapses the mesh's Manhattan-
 		// distance model to uniform cost — reject it rather than let a
@@ -87,7 +99,8 @@ type Network struct {
 	egress  []uint64 // busy-until time of each node's output port
 	ingress []uint64 // busy-until time of each node's input port
 	st      *stats.Stats
-	meshW   int // mesh width for Mesh2D (0 otherwise)
+	meshW   int // router-grid width for Mesh2D
+	conc    int // nodes per mesh router (>= 1)
 }
 
 // meshWidth returns the smallest width whose square covers n nodes.
@@ -108,8 +121,13 @@ func (nw *Network) Hops(from, to memory.NodeID) int {
 	if nw.cfg.Topology == PointToPoint {
 		return 1
 	}
-	fx, fy := int(from)%nw.meshW, int(from)/nw.meshW
-	tx, ty := int(to)%nw.meshW, int(to)/nw.meshW
+	// Concentrated mesh: route between the routers the two nodes hang off
+	// (node/conc), by X-Y Manhattan distance over the router grid. Two
+	// distinct nodes on the same router are still one hop apart (through
+	// their shared router), never zero.
+	fr, tr := int(from)/nw.conc, int(to)/nw.conc
+	fx, fy := fr%nw.meshW, fr/nw.meshW
+	tx, ty := tr%nw.meshW, tr/nw.meshW
 	dx, dy := fx-tx, fy-ty
 	if dx < 0 {
 		dx = -dx
@@ -117,7 +135,10 @@ func (nw *Network) Hops(from, to memory.NodeID) int {
 	if dy < 0 {
 		dy = -dy
 	}
-	return dx + dy
+	if d := dx + dy; d > 0 {
+		return d
+	}
+	return 1
 }
 
 // New builds a network for n nodes, recording traffic into st.
@@ -128,12 +149,17 @@ func New(cfg Config, n int, st *stats.Stats) (*Network, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("network: need at least one node, got %d", n)
 	}
+	conc := cfg.Concentration
+	if conc < 1 {
+		conc = 1
+	}
 	return &Network{
 		cfg:     cfg,
 		egress:  make([]uint64, n),
 		ingress: make([]uint64, n),
 		st:      st,
-		meshW:   meshWidth(n),
+		meshW:   meshWidth((n + conc - 1) / conc),
+		conc:    conc,
 	}, nil
 }
 

@@ -375,7 +375,7 @@ func TestLSMigratoryIsSubset(t *testing.T) {
 	migrate := func(p Protocol, e *directory.Entry, from, to memory.NodeID) bool {
 		// "to" reads (joins sharers with current holder "from"), then writes.
 		e.State = directory.Shared
-		e.Sharers = 0
+		e.Sharers.Clear()
 		e.Sharers.Add(from)
 		e.Sharers.Add(to)
 		p.NoteRead(e, to)

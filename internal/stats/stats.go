@@ -294,6 +294,29 @@ type Stats struct {
 	// Resil is the resilient transaction layer's accounting (NACK/retry/
 	// message-fault recovery); all-zero on classic runs.
 	Resil Resilience
+
+	// Dir is the compact directory wire format's accounting (limited-
+	// pointer/coarse-vector extra invalidations); all-zero under the
+	// default full-map format.
+	Dir DirFormat
+}
+
+// DirFormat counts the architectural side effects of a compact directory
+// wire format (engine Config.DirFormat). Like the resilience counters,
+// these are out-of-band: the simulated timeline models the exact sharer
+// set, so Results across formats differ only in this block.
+type DirFormat struct {
+	// ExtraInvals is the number of invalidations the wire format would
+	// send beyond the exact sharer set (broadcast or coarse-group
+	// overshoot); the victims hold no copy and just ack.
+	ExtraInvals uint64
+	// Broadcasts counts invalidation rounds served from an overflowed
+	// limited-pointer entry (every cache except the requester is
+	// addressed).
+	Broadcasts uint64
+	// Overflows counts limited-pointer capacity overflow events (an entry
+	// crossing from exact pointers to broadcast mode).
+	Overflows uint64
 }
 
 // New returns a Stats sized for n processors.
@@ -359,6 +382,9 @@ func (s *Stats) Merge(o *Stats) {
 	s.Resil.DroppedMsgs += o.Resil.DroppedMsgs
 	s.Resil.DupMsgs += o.Resil.DupMsgs
 	s.Resil.ReorderedMsgs += o.Resil.ReorderedMsgs
+	s.Dir.ExtraInvals += o.Dir.ExtraInvals
+	s.Dir.Broadcasts += o.Dir.Broadcasts
+	s.Dir.Overflows += o.Dir.Overflows
 }
 
 // AddMsg records one message of type t carrying blockSize bytes of data if

@@ -178,6 +178,8 @@ func runMachine(ctx context.Context, cfg Config, w workload.Workload, scaleName 
 		Scale:    scaleName,
 		Nodes:    cfg.Nodes,
 	}
+	res.Dir.Format = ec.DirFormat.String()
+	res.Dir.EntryBits = ec.DirFormat.EntryBits(cfg.Nodes)
 	fillResult(res, m.Stats(), m.Sequences(), m.FalseSharing())
 	if releaseMachine(cfg, m) {
 		return res, nil, nil

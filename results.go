@@ -72,6 +72,14 @@ type Result struct {
 	// runs.
 	Resil ResilRow
 
+	// Dir summarizes the directory wire format (Config.DirFormat): its
+	// name, modeled per-block entry size, and — for the compact formats —
+	// the architectural invalidation overshoot. The counters are all-zero
+	// under the default full-map format, and they are the only fields a
+	// compact format changes: everything else in the Result is
+	// byte-identical across formats.
+	Dir DirRow
+
 	// Access counts.
 	Loads, Stores uint64
 
@@ -109,6 +117,25 @@ type ResilRow struct {
 	DroppedMsgs   uint64
 	DupMsgs       uint64
 	ReorderedMsgs uint64
+}
+
+// DirRow is the directory-wire-format measurement block of a Result.
+type DirRow struct {
+	// Format is the canonical format name ("full", "limited:4",
+	// "coarse:8").
+	Format string
+	// EntryBits is the modeled presence-tracking storage per directory
+	// entry in bits: P for full-map, i*ceil(log2 P)+1 for limited:i,
+	// ceil(P/K) for coarse:K.
+	EntryBits int
+	// ExtraInvals counts invalidations the format would send beyond the
+	// exact sharer set (broadcast or coarse-group overshoot).
+	ExtraInvals uint64
+	// Broadcasts counts invalidation rounds served from an overflowed
+	// limited-pointer entry.
+	Broadcasts uint64
+	// Overflows counts limited-pointer capacity overflow events.
+	Overflows uint64
 }
 
 // SourceRow is one column of Table 2.
@@ -189,6 +216,9 @@ func fillResult(r *Result, st *stats.Stats, seq *classify.Sequences, fs *classif
 	if txns := st.GlobalReadMisses() + st.GlobalWrites(); txns > 0 {
 		r.Resil.MeanRetries = float64(rs.Retries) / float64(txns)
 	}
+	r.Dir.ExtraInvals = st.Dir.ExtraInvals
+	r.Dir.Broadcasts = st.Dir.Broadcasts
+	r.Dir.Overflows = st.Dir.Overflows
 
 	if seq != nil {
 		for s := memory.Source(0); s < memory.NumSources; s++ {
