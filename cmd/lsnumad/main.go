@@ -1,0 +1,126 @@
+// Command lsnumad runs the simulator as a hardened sweep service: an
+// HTTP daemon accepting point, sweep and comparison jobs (JSON in,
+// NDJSON-streamed results out) from many concurrent clients, sharing
+// one result cache — with single-flight stampede protection — across
+// all of them.
+//
+// Robustness properties:
+//
+//   - Admission control: a bounded execution pool plus a bounded wait
+//     queue; saturated arrivals are NACKed with 429 and a Retry-After
+//     estimate instead of piling up (the service-layer analogue of the
+//     simulator's bounded-MSHR NACK/retry discipline).
+//   - Panic isolation: a panicking job produces a structured 500 with
+//     its repro bundle; the daemon keeps serving.
+//   - Graceful drain: SIGTERM/SIGINT stops admissions (503), lets
+//     in-flight jobs finish, flushes, and exits; a second signal or the
+//     drain deadline aborts remaining work via context cancellation.
+//
+// Usage:
+//
+//	lsnumad -addr :8347 -cache -jobs 4 -queue 16
+//	curl -s localhost:8347/api/v1/sweep -d '{"workload":"mp3d","sweep":"block"}'
+//	curl -s localhost:8347/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lsnuma"
+	"lsnuma/internal/server"
+	"lsnuma/internal/version"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8347", "listen address")
+		jobs         = flag.Int("jobs", 2, "concurrent job slots")
+		queue        = flag.Int("queue", 8, "admission queue depth (beyond it: 429 + Retry-After)")
+		parallelism  = flag.Int("j", 0, "per-job simulation parallelism (0 = all cores)")
+		pointTimeout = flag.Duration("point-timeout", 0, "per-point wall clock ceiling (0 = none); requests may lower it, never raise it")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
+		cacheFlag    = flag.Bool("cache", false, "memoize point results in the persistent result cache (default dir .lscache)")
+		cacheDir     = flag.String("cache-dir", "", "result cache directory (implies -cache)")
+		noCache      = flag.Bool("no-cache", false, "disable the persistent cache even if -cache/-cache-dir is given (single-flight dedup stays on)")
+		showVersion  = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("lsnumad"))
+		return
+	}
+
+	var cache *lsnuma.ResultCache
+	if (*cacheFlag || *cacheDir != "") && !*noCache {
+		var err error
+		if cache, err = lsnuma.OpenResultCache(*cacheDir); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv := server.New(server.Config{
+		MaxJobs:      *jobs,
+		QueueDepth:   *queue,
+		Parallelism:  *parallelism,
+		PointTimeout: *pointTimeout,
+		Cache:        cache,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "lsnumad: %s listening on %s (jobs=%d queue=%d)\n",
+			version.String("lsnumad"), *addr, *jobs, *queue)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "lsnumad: %v: draining (deadline %s; signal again to abort)\n", sig, *drainTimeout)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "lsnumad: second signal: aborting in-flight jobs")
+		cancel()
+	}()
+
+	code := 0
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "lsnumad: drain aborted: %v\n", err)
+		srv.Close()
+		code = 1
+	}
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "lsnumad: shutdown: %v\n", err)
+		code = 1
+	}
+	if cache != nil {
+		s := cache.Stats()
+		fmt.Fprintf(os.Stderr, "lsnumad: cache hits=%d misses=%d dedups=%d skips=%d errors=%d\n",
+			s.Hits, s.Misses, s.Dedups, s.Skips, s.Errors)
+	}
+	fmt.Fprintln(os.Stderr, "lsnumad: drained, bye")
+	os.Exit(code)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsnumad:", err)
+	os.Exit(1)
+}

@@ -22,10 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"lsnuma"
 	"lsnuma/internal/prof"
 	"lsnuma/internal/report"
+	"lsnuma/internal/version"
 )
 
 var (
@@ -72,12 +75,24 @@ var runCtx = context.Background()
 
 func main() {
 	var (
-		fig       = flag.Int("fig", 0, "regenerate figure 3, 4, 5, 6 or 7")
-		table     = flag.Int("table", 0, "regenerate table 2, 3 or 4")
-		ablations = flag.Bool("ablations", false, "run the §5.5 ablation variants")
-		all       = flag.Bool("all", false, "regenerate every figure and table")
+		fig         = flag.Int("fig", 0, "regenerate figure 3, 4, 5, 6 or 7")
+		table       = flag.Int("table", 0, "regenerate table 2, 3 or 4")
+		ablations   = flag.Bool("ablations", false, "run the §5.5 ablation variants")
+		all         = flag.Bool("all", false, "regenerate every figure and table")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("lsreport"))
+		return
+	}
+
+	// SIGINT/SIGTERM cancel the shared run context: in-flight points
+	// abort at their next poll, the report renders with annotated holes
+	// and the process exits non-zero — graceful degradation, not a kill.
+	var stopSignals context.CancelFunc
+	runCtx, stopSignals = signal.NotifyContext(runCtx, os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	stop, err := prof.Start(prof.Options{
 		CPU: *cpuprofile, Mem: *memprofile,
@@ -140,6 +155,9 @@ func main() {
 func exit() {
 	stopProfiles()
 	printCacheStats()
+	if err := runCtx.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "lsreport: interrupted (%v); output above is partial with annotated holes\n", err)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "lsreport: %d simulation point(s) failed (output above is partial)\n", failed)
 		os.Exit(1)

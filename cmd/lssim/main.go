@@ -17,6 +17,7 @@ import (
 	"lsnuma"
 	"lsnuma/internal/prof"
 	"lsnuma/internal/report"
+	"lsnuma/internal/version"
 )
 
 // stopProfiles flushes any active profiles; fatal calls it so profiles
@@ -53,8 +54,13 @@ func main() {
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		mutexprofile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
 		blockprofile = flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
+		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("lssim"))
+		return
+	}
 
 	stop, err := prof.Start(prof.Options{
 		CPU: *cpuprofile, Mem: *memprofile,

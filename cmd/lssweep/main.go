@@ -10,6 +10,12 @@
 // (default: all cores) and -timeout aborts points that have not started
 // when it expires.
 //
+// SIGINT/SIGTERM degrade gracefully rather than kill the sweep:
+// in-flight simulations abort at their next cancellation poll, the
+// completed cells print normally, interrupted cells become annotated
+// holes, and fresh results computed before the signal are already in
+// the result cache (each point is flushed as it completes).
+//
 // Usage:
 //
 //	lssweep -workload mp3d -sweep block
@@ -22,10 +28,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
 
 	"lsnuma"
 	"lsnuma/internal/report"
+	"lsnuma/internal/version"
 )
 
 func main() {
@@ -48,8 +56,13 @@ func main() {
 		cacheFlag    = flag.Bool("cache", false, "memoize point results in the persistent result cache (default dir .lscache)")
 		cacheDir     = flag.String("cache-dir", "", "result cache directory (implies -cache)")
 		noCache      = flag.Bool("no-cache", false, "disable the result cache even if -cache/-cache-dir is given")
+		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("lssweep"))
+		return
+	}
 
 	var resultCache *lsnuma.ResultCache
 	if (*cacheFlag || *cacheDir != "") && !*noCache {
@@ -96,7 +109,11 @@ func main() {
 		fatal(err)
 	}
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the run context: in-flight cells abort at
+	// their next poll, untouched cells are skipped, and the partial
+	// results below print with annotated holes.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -111,28 +128,9 @@ func main() {
 
 	failed := 0
 	for _, pt := range results {
-		base := pt.Results[lsnuma.Baseline]
-		fmt.Printf("%s:\n", pt.Label)
-		for _, p := range lsnuma.Protocols() {
-			r := pt.Results[p]
-			if r == nil {
-				failed++
-				fmt.Printf("  %s: FAILED: %v\n", p, pt.Errs[p])
-				printRepro(pt.Repros[p])
-				continue
-			}
-			fmt.Printf("  %s\n", report.Summary(r))
-			if line := report.Resilience(r); line != "" {
-				fmt.Printf("    %s\n", line)
-			}
-			if p != lsnuma.Baseline && base != nil && base.ExecTime > 0 {
-				fmt.Printf("    normalized: exec=%.1f traffic-bytes=%.1f traffic-msgs=%.1f read-misses=%.1f\n",
-					100*float64(r.ExecTime)/float64(base.ExecTime),
-					100*float64(r.Bytes)/float64(base.Bytes),
-					100*float64(r.Msgs)/float64(base.Msgs),
-					100*float64(r.GlobalReadMisses())/float64(base.GlobalReadMisses()))
-			}
-		}
+		text, f := report.SweepCell(pt)
+		failed += f
+		fmt.Print(text)
 	}
 	// Cache traffic goes to stderr so warm and cold invocations keep
 	// byte-identical stdout (the CI cached-sweep job diffs it).
@@ -141,38 +139,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lssweep: cache hits=%d misses=%d skips=%d errors=%d\n",
 			s.Hits, s.Misses, s.Skips, s.Errors)
 	}
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "lssweep: interrupted (%v); results above are partial with annotated holes\n", err)
+	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "lssweep: %d cell(s) failed (results above are partial)\n", failed)
 		os.Exit(1)
-	}
-}
-
-// printRepro summarizes a failed cell's diagnostic bundle.
-func printRepro(b *lsnuma.ReproBundle) {
-	if b == nil {
-		return
-	}
-	if b.Diagnosis != "" {
-		for _, line := range strings.Split(b.Diagnosis, "\n") {
-			fmt.Printf("    %s\n", line)
-		}
-	}
-	if b.Retry != "" {
-		fmt.Printf("    %s\n", b.Retry)
-	}
-	if n := len(b.LastOps); n > 0 {
-		show := b.LastOps
-		if n > 8 {
-			show = show[n-8:]
-		}
-		fmt.Printf("    last ops before failure:")
-		for _, o := range show {
-			fmt.Printf(" [%s]", o)
-		}
-		fmt.Println()
-	}
-	if b.Stack != "" {
-		fmt.Printf("    panic stack captured (%d bytes); re-run the cell with lssim for the full trace\n", len(b.Stack))
 	}
 }
 

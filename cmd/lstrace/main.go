@@ -17,6 +17,7 @@ import (
 	"lsnuma"
 	"lsnuma/internal/engine"
 	"lsnuma/internal/trace"
+	"lsnuma/internal/version"
 	"lsnuma/internal/workload"
 	"lsnuma/internal/workload/cholesky"
 	"lsnuma/internal/workload/lu"
@@ -33,6 +34,7 @@ func main() {
 		protoName    = flag.String("protocol", "Baseline", "protocol for capture/replay")
 		scaleName    = flag.String("scale", "test", "problem size for capture")
 		out          = flag.String("o", "trace.lstr", "output trace file for capture")
+		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.StringVar(&checkFlag, "check", "off", "online coherence invariant checking: off, touched, full")
 	flag.StringVar(&faultsFlag, "faults", "", "inject a protocol fault: class[@afterOp][:seed]")
@@ -41,6 +43,10 @@ func main() {
 	flag.Uint64Var(&lookFlag, "lookahead", 0, "parallel scheduler safe-window cap in cycles (0 = uncapped)")
 	flag.StringVar(&dirfmtFlag, "dirformat", "", "directory wire format: full (default), limited:i, or coarse:K")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("lstrace"))
+		return
+	}
 
 	switch {
 	case *capture:

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"lsnuma"
+)
+
+// SweepCell renders one sweep grid point exactly as cmd/lssweep prints
+// it: the point label, one summary line per protocol (FAILED lines with
+// their diagnostic bundle for holes), the resilience line when the
+// resilient transaction layer saw traffic, and the normalized
+// comparison line for the non-baseline protocols. It returns the text
+// (newline-terminated) and the number of failed cells.
+//
+// This is the single definition of the sweep row format: lssweep prints
+// it to stdout and the lsnumad daemon streams it in each cell record's
+// "text" field, which is what makes the daemon's warm-cache streams
+// byte-identical to the equivalent lssweep invocation — an equivalence
+// the load harness asserts.
+func SweepCell(pt lsnuma.SweepResult) (string, int) {
+	var b strings.Builder
+	failed := 0
+	base := pt.Results[lsnuma.Baseline]
+	fmt.Fprintf(&b, "%s:\n", pt.Label)
+	for _, p := range lsnuma.Protocols() {
+		r := pt.Results[p]
+		if r == nil {
+			failed++
+			fmt.Fprintf(&b, "  %s: FAILED: %v\n", p, pt.Errs[p])
+			b.WriteString(ReproText(pt.Repros[p], "    "))
+			continue
+		}
+		fmt.Fprintf(&b, "  %s\n", Summary(r))
+		if line := Resilience(r); line != "" {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+		if p != lsnuma.Baseline && base != nil && base.ExecTime > 0 {
+			fmt.Fprintf(&b, "    normalized: exec=%.1f traffic-bytes=%.1f traffic-msgs=%.1f read-misses=%.1f\n",
+				100*float64(r.ExecTime)/float64(base.ExecTime),
+				100*float64(r.Bytes)/float64(base.Bytes),
+				100*float64(r.Msgs)/float64(base.Msgs),
+				100*float64(r.GlobalReadMisses())/float64(base.GlobalReadMisses()))
+		}
+	}
+	return b.String(), failed
+}
+
+// ReproText renders a failed cell's diagnostic bundle — the watchdog
+// diagnosis, the checks-on retry outcome, the tail of the operation
+// ring and a note about any captured panic stack — one line per piece,
+// each prefixed with indent. Nil bundles render as "".
+func ReproText(b *lsnuma.ReproBundle, indent string) string {
+	if b == nil {
+		return ""
+	}
+	var sb strings.Builder
+	if b.Diagnosis != "" {
+		for _, line := range strings.Split(b.Diagnosis, "\n") {
+			fmt.Fprintf(&sb, "%s%s\n", indent, line)
+		}
+	}
+	if b.Retry != "" {
+		fmt.Fprintf(&sb, "%s%s\n", indent, b.Retry)
+	}
+	if n := len(b.LastOps); n > 0 {
+		show := b.LastOps
+		if n > 8 {
+			show = show[n-8:]
+		}
+		fmt.Fprintf(&sb, "%slast ops before failure:", indent)
+		for _, o := range show {
+			fmt.Fprintf(&sb, " [%s]", o)
+		}
+		sb.WriteString("\n")
+	}
+	if b.Stack != "" {
+		fmt.Fprintf(&sb, "%spanic stack captured (%d bytes); re-run the cell with lssim for the full trace\n", indent, len(b.Stack))
+	}
+	return sb.String()
+}

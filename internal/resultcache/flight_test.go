@@ -1,0 +1,166 @@
+package resultcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flightSettle is how long the flight tests wait for follower
+// goroutines to reach their Do call while the leader holds the flight
+// open. Generous relative to goroutine startup (~µs) so the tests stay
+// deterministic on loaded CI machines.
+const flightSettle = 100 * time.Millisecond
+
+// TestFlightDedup races N goroutines on one key and asserts exactly one
+// computation, with every caller seeing the same value and all but one
+// flagged shared. The leader blocks until the followers have had ample
+// time to queue behind it, so the test cannot pass by accident of fast
+// sequential execution.
+func TestFlightDedup(t *testing.T) {
+	const n = 32
+	var (
+		f        Flight[int]
+		computes atomic.Int64
+		release  = make(chan struct{})
+		started  = make(chan struct{})
+	)
+
+	vals := make([]int, n)
+	shared := make([]bool, n)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader: registers the key, then holds it open
+		defer wg.Done()
+		vals[0], shared[0] = f.Do("k", func() int {
+			computes.Add(1)
+			close(started)
+			<-release
+			return 42
+		})
+	}()
+	<-started
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], shared[i] = f.Do("k", func() int {
+				computes.Add(1)
+				return 42
+			})
+		}(i)
+	}
+	time.Sleep(flightSettle)
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computes = %d, want exactly 1", got)
+	}
+	nshared := 0
+	for i := 0; i < n; i++ {
+		if vals[i] != 42 {
+			t.Fatalf("caller %d got %d, want 42", i, vals[i])
+		}
+		if shared[i] {
+			nshared++
+		}
+	}
+	if nshared != n-1 {
+		t.Fatalf("shared callers = %d, want %d", nshared, n-1)
+	}
+	if f.Inflight() != 0 {
+		t.Fatalf("inflight after completion = %d, want 0", f.Inflight())
+	}
+}
+
+// TestFlightDistinctKeys verifies distinct keys do not serialize or
+// share values.
+func TestFlightDistinctKeys(t *testing.T) {
+	var f Flight[string]
+	var wg sync.WaitGroup
+	out := make([]string, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i))
+			out[i], _ = f.Do(key, func() string { return key })
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 8; i++ {
+		if want := string(rune('a' + i)); out[i] != want {
+			t.Fatalf("key %d got %q, want %q", i, out[i], want)
+		}
+	}
+}
+
+// TestFlightSequentialReuse verifies a key is forgotten once its flight
+// lands: a later Do for the same key computes again (memoization across
+// calls is the persistent store's job, not the flight's).
+func TestFlightSequentialReuse(t *testing.T) {
+	var f Flight[int]
+	computes := 0
+	for i := 0; i < 3; i++ {
+		v, shared := f.Do("k", func() int { computes++; return computes })
+		if shared {
+			t.Fatalf("call %d shared, want leader", i)
+		}
+		if v != i+1 {
+			t.Fatalf("call %d = %d, want %d", i, v, i+1)
+		}
+	}
+	if computes != 3 {
+		t.Fatalf("computes = %d, want 3 (no cross-call memoization)", computes)
+	}
+}
+
+// TestFlightLeaderPanic verifies a panicking leader releases its
+// followers with a panic rather than a hang or a silent zero value, and
+// that the key is usable again afterwards.
+func TestFlightLeaderPanic(t *testing.T) {
+	var f Flight[int]
+	started := make(chan struct{})
+	finish := make(chan struct{})
+
+	leaderDone := make(chan any, 1)
+	go func() {
+		defer func() { leaderDone <- recover() }()
+		f.Do("k", func() int {
+			close(started)
+			<-finish
+			panic("boom")
+		})
+	}()
+	<-started
+
+	var followerComputed atomic.Bool
+	followerDone := make(chan any, 1)
+	go func() {
+		defer func() { followerDone <- recover() }()
+		f.Do("k", func() int {
+			followerComputed.Store(true)
+			return 7
+		})
+	}()
+	time.Sleep(flightSettle) // let the follower park behind the leader
+	close(finish)
+
+	if p := <-leaderDone; p == nil {
+		t.Fatal("leader panic did not propagate")
+	}
+	// If the follower queued in time (the settle sleep makes this all but
+	// certain) it must observe the panic; if it somehow arrived after the
+	// leader's cleanup it legitimately computed fresh — but it must never
+	// hang or return a zero value silently.
+	if p := <-followerDone; p == nil && !followerComputed.Load() {
+		t.Fatal("follower neither observed the leader's panic nor computed fresh")
+	}
+	// The key must be released for fresh computations.
+	v, shared := f.Do("k", func() int { return 7 })
+	if shared || v != 7 {
+		t.Fatalf("post-panic Do = (%d, shared=%v), want fresh (7, false)", v, shared)
+	}
+}

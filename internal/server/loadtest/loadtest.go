@@ -1,0 +1,240 @@
+// Package loadtest is the in-repo load and chaos harness for the
+// lsnumad daemon: a small NDJSON-aware client, a concurrent load
+// generator with latency quantiles, and a Prometheus text-format
+// scraper. The SLO suite (slo_test.go) drives a live daemon through
+// saturation, cache-stampede, kill-mid-sweep and drain scenarios and
+// asserts explicit thresholds; the CI daemon job runs it under -race.
+package loadtest
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lsnuma/internal/server"
+)
+
+// Client talks to one lsnumad instance.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// New returns a client for the daemon at base (e.g. an httptest URL).
+func New(base string) *Client {
+	return &Client{Base: base, HTTP: &http.Client{}}
+}
+
+// Point submits a point job and decodes the JSON reply. The returned
+// status is the HTTP code (0 on transport error).
+func (c *Client) Point(ctx context.Context, body string) (server.PointResponse, int, error) {
+	var out server.PointResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/api/v1/point", strings.NewReader(body))
+	if err != nil {
+		return out, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return out, 0, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, resp.StatusCode, fmt.Errorf("decode point response: %w", err)
+	}
+	return out, resp.StatusCode, nil
+}
+
+// Stream submits a job to a streaming endpoint ("sweep" or "compare")
+// and feeds each NDJSON record to onRec as it arrives. A non-nil onRec
+// error aborts the stream and is returned. The HTTP status is returned
+// even on error paths that produced one.
+func (c *Client) Stream(ctx context.Context, endpoint, body string, onRec func(server.StreamRecord) error) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/api/v1/"+endpoint, strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck // body is best-effort on rejections
+		return resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec server.StreamRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return resp.StatusCode, fmt.Errorf("bad NDJSON line %q: %w", sc.Text(), err)
+		}
+		if err := onRec(rec); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, sc.Err()
+}
+
+// Sweep collects a full sweep stream.
+func (c *Client) Sweep(ctx context.Context, body string) ([]server.StreamRecord, int, error) {
+	var recs []server.StreamRecord
+	status, err := c.Stream(ctx, "sweep", body, func(rec server.StreamRecord) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	return recs, status, err
+}
+
+// Health is the /healthz reply.
+type Health struct {
+	Status   string `json:"status"`
+	Queue    int64  `json:"queue"`
+	Inflight int64  `json:"inflight"`
+	Version  string `json:"version"`
+}
+
+// Healthz fetches /healthz.
+func (c *Client) Healthz(ctx context.Context) (Health, int, error) {
+	var h Health
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return h, 0, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return h, 0, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, resp.StatusCode, err
+	}
+	return h, resp.StatusCode, nil
+}
+
+// Metrics scrapes /metrics and returns every series as a map from
+// "name" or `name{labels}` to its value.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out, sc.Err()
+}
+
+// Result is one generated request's outcome.
+type Result struct {
+	Status  int
+	Err     error
+	Latency time.Duration
+}
+
+// Summary aggregates a load run. Rejected counts admission NACKs (429)
+// and drain refusals (503) — back-pressure, not failures; Failed counts
+// everything else that was not 2xx.
+type Summary struct {
+	Requests int
+	OK       int
+	Rejected int
+	Failed   int
+	P50      time.Duration
+	P95      time.Duration
+	Max      time.Duration
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("requests=%d ok=%d rejected=%d failed=%d p50=%v p95=%v max=%v",
+		s.Requests, s.OK, s.Rejected, s.Failed, s.P50, s.P95, s.Max)
+}
+
+// ErrorRate is failed requests over all requests (rejections excluded:
+// a NACKed client was told to back off, not failed).
+func (s Summary) ErrorRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Failed) / float64(s.Requests)
+}
+
+// Fire launches clients goroutines, each performing perClient
+// sequential requests through job, all released from a common barrier
+// so arrival bursts genuinely overlap. job receives the client and
+// iteration indexes and returns the request outcome.
+func Fire(ctx context.Context, clients, perClient int, job func(ctx context.Context, client, iter int) Result) Summary {
+	results := make([]Result, clients*perClient)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				r := job(ctx, c, i)
+				r.Latency = time.Since(t0)
+				results[c*perClient+i] = r
+			}
+		}(c)
+	}
+	close(start)
+	wg.Wait()
+
+	var s Summary
+	var lat []time.Duration
+	for _, r := range results {
+		s.Requests++
+		switch {
+		case r.Err == nil && r.Status >= 200 && r.Status < 300:
+			s.OK++
+			lat = append(lat, r.Latency)
+		case r.Status == http.StatusTooManyRequests || r.Status == http.StatusServiceUnavailable:
+			s.Rejected++
+		default:
+			s.Failed++
+		}
+		if r.Latency > s.Max {
+			s.Max = r.Latency
+		}
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		s.P50 = lat[len(lat)/2]
+		s.P95 = lat[len(lat)*95/100]
+	}
+	return s
+}

@@ -1,0 +1,326 @@
+package loadtest
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lsnuma"
+	"lsnuma/internal/report"
+	"lsnuma/internal/server"
+)
+
+// The explicit service-level objectives the harness enforces. CI runs
+// this suite under -race, so the latency bounds are generous; the error
+// and drop bounds are exact.
+const (
+	sloErrorRate = 0.0              // no failed requests at target concurrency
+	sloWarmP95   = 60 * time.Second // warm-cache P95 under full load, -race included
+	sloDrainTime = 30 * time.Second // graceful drain completes within the default deadline
+)
+
+func newDaemon(t *testing.T, cfg server.Config) (*server.Server, *Client) {
+	t.Helper()
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, New(ts.URL)
+}
+
+func openCache(t *testing.T, dir string) *lsnuma.ResultCache {
+	t.Helper()
+	c, err := lsnuma.OpenResultCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestLoadSLO drives the daemon cold then warm at target concurrency
+// (32 clients against 4 job slots) and asserts the SLOs: zero failed
+// requests, zero admission rejections with an adequate queue, and a
+// warm-cache P95 under the bound.
+func TestLoadSLO(t *testing.T) {
+	dir := t.TempDir()
+	_, client := newDaemon(t, server.Config{
+		MaxJobs:    4,
+		QueueDepth: 256, // deep enough to admit the whole burst
+		Cache:      openCache(t, dir),
+	})
+	ctx := context.Background()
+
+	// Cold phase: one sweep fills the cache.
+	coldStart := time.Now()
+	recs, status, err := client.Sweep(ctx, `{"workload":"mp3d","sweep":"block"}`)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("cold sweep: status=%d err=%v", status, err)
+	}
+	trailer := recs[len(recs)-1]
+	if trailer.Type != "done" || trailer.Failed != 0 {
+		t.Fatalf("cold sweep trailer = %+v, want done with 0 failed", trailer)
+	}
+	t.Logf("cold sweep (1 client): %v", time.Since(coldStart))
+
+	// Warm single-client baseline for the EXPERIMENTS SLO table.
+	warm1 := Fire(ctx, 1, 4, func(ctx context.Context, c, i int) Result {
+		_, status, err := client.Sweep(ctx, `{"workload":"mp3d","sweep":"block"}`)
+		return Result{Status: status, Err: err}
+	})
+	t.Logf("warm load (1 client): %v", warm1)
+
+	// Warm phase: 32 clients, each a sweep and a point, all warm.
+	sum := Fire(ctx, 32, 2, func(ctx context.Context, c, i int) Result {
+		if i%2 == 0 {
+			recs, status, err := client.Sweep(ctx, `{"workload":"mp3d","sweep":"block"}`)
+			if err == nil && (len(recs) == 0 || recs[len(recs)-1].Type != "done") {
+				err = errors.New("stream ended without done trailer")
+			}
+			return Result{Status: status, Err: err}
+		}
+		_, status, err := client.Point(ctx, `{"workload":"mp3d","config":{"Protocol":"LS"}}`)
+		return Result{Status: status, Err: err}
+	})
+	t.Logf("warm load: %v", sum)
+
+	if got := sum.ErrorRate(); got > sloErrorRate {
+		t.Errorf("error rate = %.3f, want <= %.3f (%d failed of %d)", got, sloErrorRate, sum.Failed, sum.Requests)
+	}
+	if sum.Rejected != 0 {
+		t.Errorf("rejected = %d, want 0 (queue sized for the burst)", sum.Rejected)
+	}
+	if sum.OK != sum.Requests {
+		t.Errorf("ok = %d of %d requests", sum.OK, sum.Requests)
+	}
+	if sum.P95 > sloWarmP95 {
+		t.Errorf("warm P95 = %v, want <= %v", sum.P95, sloWarmP95)
+	}
+
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["lsnumad_points_failed_total"] != 0 {
+		t.Errorf("points_failed_total = %v, want 0", m["lsnumad_points_failed_total"])
+	}
+	if m["lsnumad_cache_hits_total"] == 0 {
+		t.Errorf("cache_hits_total = 0, want warm hits")
+	}
+}
+
+// TestStampedeSingleCompute fires 8 simultaneous clients at one cold
+// point key on a dedup-only daemon and asserts the single-flight layer
+// ran exactly one simulation — the others shared it.
+func TestStampedeSingleCompute(t *testing.T) {
+	_, client := newDaemon(t, server.Config{MaxJobs: 8})
+	ctx := context.Background()
+
+	// cholesky/test runs ~80ms (longer under -race): a wide window next
+	// to the microseconds of dispatch jitter, so all 8 arrivals overlap
+	// the one computation.
+	const clients = 8
+	body := `{"workload":"cholesky","config":{"Protocol":"LS"}}`
+	responses := make([]server.PointResponse, clients)
+	sum := Fire(ctx, clients, 1, func(ctx context.Context, c, i int) Result {
+		resp, status, err := client.Point(ctx, body)
+		responses[c] = resp
+		return Result{Status: status, Err: err}
+	})
+	if sum.OK != clients {
+		t.Fatalf("load summary %v, want %d ok", sum, clients)
+	}
+
+	deduped := 0
+	for _, r := range responses {
+		if r.Result == nil {
+			t.Fatalf("response missing result: %+v", r)
+		}
+		if r.Deduped {
+			deduped++
+		}
+	}
+	if deduped != clients-1 {
+		t.Errorf("deduped responses = %d, want %d", deduped, clients-1)
+	}
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["lsnumad_points_computed_total"]; got != 1 {
+		t.Errorf("points_computed_total = %v, want exactly 1", got)
+	}
+	if got := m["lsnumad_points_deduped_total"]; got != clients-1 {
+		t.Errorf("points_deduped_total = %v, want %d", got, clients-1)
+	}
+}
+
+// TestKillMidSweep is the chaos scenario: clients repeatedly vanish
+// mid-stream. The daemon must release their slots, stay healthy, and
+// keep serving well-formed sweeps afterwards.
+func TestKillMidSweep(t *testing.T) {
+	srv, client := newDaemon(t, server.Config{MaxJobs: 2})
+	ctx := context.Background()
+
+	errKilled := errors.New("client killed")
+	for round := 0; round < 3; round++ {
+		killCtx, cancel := context.WithCancel(ctx)
+		_, err := client.Stream(killCtx, "sweep", `{"workload":"mp3d","sweep":"block"}`,
+			func(rec server.StreamRecord) error {
+				if rec.Type == "cell" {
+					cancel() // die after the first streamed cell
+					return errKilled
+				}
+				return nil
+			})
+		cancel()
+		if !errors.Is(err, errKilled) {
+			t.Fatalf("round %d: stream error = %v, want the kill", round, err)
+		}
+		waitFor(t, func() bool { return srv.Inflight() == 0 && srv.QueueDepth() == 0 })
+	}
+
+	// After the carnage: a clean sweep completes and the daemon is healthy.
+	recs, status, err := client.Sweep(ctx, `{"workload":"mp3d","sweep":"block"}`)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("post-chaos sweep: status=%d err=%v", status, err)
+	}
+	if trailer := recs[len(recs)-1]; trailer.Type != "done" || trailer.Failed != 0 {
+		t.Fatalf("post-chaos trailer = %+v, want done with 0 failed", trailer)
+	}
+	h, status, err := client.Healthz(ctx)
+	if err != nil || status != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("post-chaos healthz = %+v status=%d err=%v", h, status, err)
+	}
+}
+
+// TestDrainUnderLoad starts sweeps on every slot, drains, and asserts
+// the drain SLO: new work is refused with 503, every in-flight stream
+// still ends with its done trailer (zero dropped jobs), and the drain
+// completes within the bound.
+func TestDrainUnderLoad(t *testing.T) {
+	srv, client := newDaemon(t, server.Config{MaxJobs: 2})
+	ctx := context.Background()
+
+	type stream struct {
+		recs []server.StreamRecord
+		err  error
+	}
+	streams := make(chan stream, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			recs, _, err := client.Sweep(ctx, `{"workload":"mp3d","sweep":"block"}`)
+			streams <- stream{recs, err}
+		}()
+	}
+	waitFor(t, func() bool { return srv.Inflight() == 2 })
+
+	start := time.Now()
+	drained := make(chan error, 1)
+	go func() {
+		dctx, cancel := context.WithTimeout(ctx, sloDrainTime)
+		defer cancel()
+		drained <- srv.Drain(dctx)
+	}()
+	waitFor(t, srv.Draining)
+
+	_, status, err := client.Point(ctx, `{}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("POST during drain status = %d, want 503", status)
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain = %v, want nil within %v", err, sloDrainTime)
+	}
+	drainTime := time.Since(start)
+	t.Logf("drain under load completed in %v", drainTime)
+	if drainTime > sloDrainTime {
+		t.Errorf("drain took %v, want <= %v", drainTime, sloDrainTime)
+	}
+	for i := 0; i < 2; i++ {
+		s := <-streams
+		if s.err != nil {
+			t.Fatalf("in-flight stream %d dropped during drain: %v", i, s.err)
+		}
+		if len(s.recs) == 0 || s.recs[len(s.recs)-1].Type != "done" {
+			t.Fatalf("in-flight stream %d has no done trailer: %d records", i, len(s.recs))
+		}
+		if f := s.recs[len(s.recs)-1].Failed; f != 0 {
+			t.Errorf("in-flight stream %d finished with %d failed points, want 0", i, f)
+		}
+	}
+}
+
+// TestWarmStreamMatchesLssweep asserts the byte-identity contract: the
+// concatenated "text" fields of a warm-cache daemon sweep equal,
+// byte for byte, the stdout an equivalent lssweep invocation prints
+// (which is the concatenation of report.SweepCell over the same grid).
+func TestWarmStreamMatchesLssweep(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	// The lssweep side: same workload/sweep/scale, same cache dir.
+	results, err := lsnuma.Sweep(ctx, lsnuma.DefaultConfig(), lsnuma.SweepBlock, "mp3d", lsnuma.ScaleTest,
+		lsnuma.RunOptions{Cache: openCache(t, dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	for _, pt := range results {
+		text, failed := report.SweepCell(pt)
+		if failed != 0 {
+			t.Fatalf("reference sweep cell %s failed", pt.Label)
+		}
+		want.WriteString(text)
+	}
+
+	_, client := newDaemon(t, server.Config{MaxJobs: 2, Cache: openCache(t, dir)})
+	recs, status, err := client.Sweep(ctx, `{"workload":"mp3d","sweep":"block"}`)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("daemon sweep: status=%d err=%v", status, err)
+	}
+	var got strings.Builder
+	cells := 0
+	for _, rec := range recs {
+		if rec.Type == "cell" {
+			got.WriteString(rec.Text)
+			cells++
+		}
+	}
+	if cells != len(results) {
+		t.Fatalf("daemon streamed %d cells, lssweep prints %d", cells, len(results))
+	}
+	if got.String() != want.String() {
+		t.Errorf("daemon stream is not byte-identical to lssweep stdout:\n--- daemon ---\n%s--- lssweep ---\n%s", got.String(), want.String())
+	}
+
+	// And it really was warm: every point served from the cache.
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHits := float64(len(results) * len(lsnuma.Protocols()))
+	if m["lsnumad_cache_hits_total"] != wantHits {
+		t.Errorf("cache_hits_total = %v, want %v (fully warm)", m["lsnumad_cache_hits_total"], wantHits)
+	}
+	if m["lsnumad_points_computed_total"] != 0 {
+		t.Errorf("points_computed_total = %v, want 0 on a warm sweep", m["lsnumad_points_computed_total"])
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within 10s")
+}

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// histBoundsMs are the latency histogram bucket upper bounds in
+// milliseconds; a final +Inf bucket catches everything beyond. The
+// range spans a warm cache hit (~1 ms) to a paper-scale cold sweep
+// (minutes).
+var histBoundsMs = [...]uint64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// histogram is a fixed-bucket, lock-free latency histogram.
+type histogram struct {
+	buckets [len(histBoundsMs) + 1]atomic.Uint64
+	sumMs   atomic.Uint64
+	count   atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := uint64(d.Milliseconds())
+	i := sort.Search(len(histBoundsMs), func(i int) bool { return ms <= histBoundsMs[i] })
+	h.buckets[i].Add(1)
+	h.sumMs.Add(ms)
+	h.count.Add(1)
+}
+
+// quantile returns an upper-bound estimate (bucket boundary) of the
+// q-quantile in milliseconds; 0 when the histogram is empty.
+func (h *histogram) quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			if i < len(histBoundsMs) {
+				return histBoundsMs[i]
+			}
+			return histBoundsMs[len(histBoundsMs)-1] * 2 // +Inf bucket: beyond the largest bound
+		}
+	}
+	return 0
+}
+
+// endpoints are the job endpoints carrying latency histograms.
+var endpoints = []string{"point", "sweep", "compare"}
+
+// Metrics is the daemon's observable state: admission and job counters,
+// per-point outcome counters (the stampede test's "exactly one compute"
+// assertion reads PointsComputed), aggregated resilience counters from
+// the simulated runs, and per-endpoint latency histograms. All fields
+// are safe for concurrent use.
+type Metrics struct {
+	// Admission control.
+	Admitted         atomic.Uint64 // jobs that got a slot
+	QueuedTotal      atomic.Uint64 // jobs that had to wait for a slot
+	Rejected         atomic.Uint64 // 429: queue full
+	RejectedDraining atomic.Uint64 // 503: drain in progress
+	AbandonedQueue   atomic.Uint64 // client gone while waiting for a slot
+
+	// Job outcomes.
+	Completed   atomic.Uint64 // jobs that ran to completion (holes included)
+	JobFailures atomic.Uint64 // jobs with at least one failed point
+	Panics      atomic.Uint64 // handler panics caught by the isolation wrapper
+
+	// Per-point outcomes across all jobs.
+	PointsComputed atomic.Uint64 // fresh simulations
+	PointsCached   atomic.Uint64 // served from the persistent cache
+	PointsDeduped  atomic.Uint64 // shared from a concurrent in-flight compute
+	PointsFailed   atomic.Uint64 // errors, panics, timeouts, cancellations
+
+	// Resilience counters summed over every completed point's Result
+	// (the service-layer mirror of the PR 4 MSHR/NACK machinery).
+	Nacks   atomic.Uint64
+	Retries atomic.Uint64
+
+	// jobDurEWMAms is an exponentially-weighted moving average of job
+	// wall time, feeding the Retry-After estimate on 429s.
+	jobDurEWMAms atomic.Uint64
+
+	hist map[string]*histogram
+}
+
+func newMetrics() *Metrics {
+	m := &Metrics{hist: make(map[string]*histogram, len(endpoints))}
+	for _, e := range endpoints {
+		m.hist[e] = &histogram{}
+	}
+	return m
+}
+
+// observe records one finished job on endpoint's histogram and folds
+// its duration into the Retry-After EWMA.
+func (m *Metrics) observe(endpoint string, d time.Duration) {
+	if h, ok := m.hist[endpoint]; ok {
+		h.observe(d)
+	}
+	ms := uint64(d.Milliseconds())
+	for {
+		old := m.jobDurEWMAms.Load()
+		ewma := ms
+		if old != 0 {
+			ewma = (3*old + ms) / 4
+		}
+		if m.jobDurEWMAms.CompareAndSwap(old, ewma) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates how long a rejected client should back
+// off: the queue ahead of it, in units of average job time over the
+// available slots, floored at one second.
+func (m *Metrics) retryAfterSeconds(queued int64, slots int) int {
+	ewma := time.Duration(m.jobDurEWMAms.Load()) * time.Millisecond
+	if ewma == 0 {
+		ewma = time.Second
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	est := ewma * time.Duration(queued+1) / time.Duration(slots)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// point accounts one completed point's outcome (and its resilience
+// counters) into the per-point totals.
+func (m *Metrics) point(failed, cached, deduped bool, nacks, retries uint64) {
+	switch {
+	case failed:
+		m.PointsFailed.Add(1)
+	case cached:
+		m.PointsCached.Add(1)
+	case deduped:
+		m.PointsDeduped.Add(1)
+	default:
+		m.PointsComputed.Add(1)
+	}
+	m.Nacks.Add(nacks)
+	m.Retries.Add(retries)
+}
+
+// metricsSnapshotGauges are the live gauges rendered alongside the
+// counters; the server passes them in at render time.
+type gauges struct {
+	queueDepth int64
+	inflight   int64
+	draining   bool
+	cacheHits  uint64
+	cacheMiss  uint64
+	cacheSkips uint64
+	cacheErrs  uint64
+	cacheDedup uint64
+}
+
+// write renders the metrics in the Prometheus text exposition format.
+func (m *Metrics) write(w io.Writer, g gauges) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("lsnumad_queue_depth", "jobs waiting for an execution slot", g.queueDepth)
+	gauge("lsnumad_inflight_jobs", "jobs currently executing", g.inflight)
+	draining := int64(0)
+	if g.draining {
+		draining = 1
+	}
+	gauge("lsnumad_draining", "1 while the daemon is draining", draining)
+
+	counter("lsnumad_jobs_admitted_total", "jobs admitted to an execution slot", m.Admitted.Load())
+	counter("lsnumad_jobs_queued_total", "admitted jobs that waited in the queue first", m.QueuedTotal.Load())
+	counter("lsnumad_jobs_rejected_total", "jobs rejected with 429 (queue full)", m.Rejected.Load())
+	counter("lsnumad_jobs_rejected_draining_total", "jobs rejected with 503 (draining)", m.RejectedDraining.Load())
+	counter("lsnumad_jobs_abandoned_total", "queued jobs whose client disconnected before a slot freed", m.AbandonedQueue.Load())
+	counter("lsnumad_jobs_completed_total", "jobs that ran to completion", m.Completed.Load())
+	counter("lsnumad_jobs_failed_total", "completed jobs with at least one failed point", m.JobFailures.Load())
+	counter("lsnumad_handler_panics_total", "handler panics caught by the isolation wrapper", m.Panics.Load())
+
+	counter("lsnumad_points_computed_total", "points freshly simulated", m.PointsComputed.Load())
+	counter("lsnumad_points_cached_total", "points served from the persistent result cache", m.PointsCached.Load())
+	counter("lsnumad_points_deduped_total", "points shared from a concurrent identical computation", m.PointsDeduped.Load())
+	counter("lsnumad_points_failed_total", "points that failed (error, panic, timeout, cancel)", m.PointsFailed.Load())
+
+	counter("lsnumad_cache_hits_total", "result cache hits", g.cacheHits)
+	counter("lsnumad_cache_misses_total", "result cache misses", g.cacheMiss)
+	counter("lsnumad_cache_skips_total", "points ineligible for caching", g.cacheSkips)
+	counter("lsnumad_cache_errors_total", "failed cache operations", g.cacheErrs)
+	counter("lsnumad_cache_dedups_total", "single-flight shares in the cache layer", g.cacheDedup)
+
+	counter("lsnumad_sim_nacks_total", "directory NACKs across all simulated points", m.Nacks.Load())
+	counter("lsnumad_sim_retries_total", "transaction retries across all simulated points", m.Retries.Load())
+
+	fmt.Fprintf(w, "# HELP lsnumad_request_duration_ms job latency by endpoint\n# TYPE lsnumad_request_duration_ms histogram\n")
+	for _, e := range endpoints {
+		h := m.hist[e]
+		var cum uint64
+		for i, bound := range histBoundsMs {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "lsnumad_request_duration_ms_bucket{endpoint=%q,le=%q} %d\n", e, strconv.FormatUint(bound, 10), cum)
+		}
+		cum += h.buckets[len(histBoundsMs)].Load()
+		fmt.Fprintf(w, "lsnumad_request_duration_ms_bucket{endpoint=%q,le=\"+Inf\"} %d\n", e, cum)
+		fmt.Fprintf(w, "lsnumad_request_duration_ms_sum{endpoint=%q} %d\n", e, h.sumMs.Load())
+		fmt.Fprintf(w, "lsnumad_request_duration_ms_count{endpoint=%q} %d\n", e, h.count.Load())
+	}
+}

@@ -1,0 +1,765 @@
+// Package server implements lsnumad, the sweep-as-a-service daemon:
+// an HTTP front end that multiplexes sweep/point/compare jobs from many
+// clients onto the bounded runner pool, shares one result cache (with
+// single-flight stampede protection) across all of them, and degrades
+// under pressure instead of falling over.
+//
+// The service applies the paper's resource-exhaustion discipline (PR 4's
+// bounded MSHRs with NACK/retry) at the job layer: a bounded execution
+// pool, a bounded admission queue, and an explicit 429 + Retry-After
+// NACK when both are full. Panics in a job are isolated to a structured
+// 500 carrying the repro bundle; SIGTERM triggers a graceful drain that
+// stops admitting, finishes in-flight jobs and exits within a deadline.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"slices"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lsnuma"
+	"lsnuma/internal/report"
+	"lsnuma/internal/version"
+	"lsnuma/internal/workload"
+)
+
+// maxRequestBytes bounds a job request body; configs are small.
+const maxRequestBytes = 1 << 20
+
+// Config parameterizes a Server. The zero value is usable: defaults are
+// applied by New.
+type Config struct {
+	// MaxJobs bounds the number of jobs executing at once (default 2).
+	// Each job runs its points on its own RunAll pool, so total
+	// simulation parallelism is roughly MaxJobs * Parallelism.
+	MaxJobs int
+	// QueueDepth bounds the number of jobs allowed to wait for an
+	// execution slot (default 8). Arrivals beyond it are NACKed with
+	// 429 and a Retry-After estimate.
+	QueueDepth int
+	// Parallelism is each job's RunAll worker bound (default 0: all
+	// cores).
+	Parallelism int
+	// PointTimeout is the server-wide per-point wall-clock ceiling
+	// (0 = none). Requests may lower it per job, never raise it.
+	PointTimeout time.Duration
+	// MaxPointsPerJob rejects absurdly large jobs up front (default
+	// 4096, matching the runner's practical ceiling).
+	MaxPointsPerJob int
+	// Cache is the shared result cache. Nil selects a dedup-only cache
+	// (lsnuma.NewDedupCache): no persistence, but concurrent identical
+	// points across all clients still collapse into one simulation.
+	Cache *lsnuma.ResultCache
+	// Version is reported by /version and /healthz (default the build's
+	// stamped version).
+	Version string
+}
+
+// Server is the daemon core: admission control, job execution, metrics
+// and drain. Create with New, mount Handler on an http.Server, and call
+// Drain on shutdown.
+type Server struct {
+	cfg     Config
+	cache   *lsnuma.ResultCache
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	slots    chan struct{} // execution slots, cap MaxJobs
+	queued   atomic.Int64  // jobs waiting for a slot
+	inflight atomic.Int64  // jobs holding a slot
+
+	draining  atomic.Bool
+	drainCh   chan struct{} // closed when draining starts
+	drainOnce sync.Once
+
+	jobsCtx  context.Context // cancelled to abort in-flight simulations
+	stopJobs context.CancelFunc
+
+	// runAll is a test seam over lsnuma.RunAll.
+	runAll func(ctx context.Context, points []lsnuma.Point, opt lsnuma.RunOptions) ([]lsnuma.PointResult, error)
+}
+
+// New builds a Server from cfg, applying defaults for zero fields.
+func New(cfg Config) *Server {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.MaxPointsPerJob <= 0 {
+		cfg.MaxPointsPerJob = 4096
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = lsnuma.NewDedupCache()
+	}
+	if cfg.Version == "" {
+		cfg.Version = version.Version
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		cache:    cfg.Cache,
+		metrics:  newMetrics(),
+		mux:      http.NewServeMux(),
+		slots:    make(chan struct{}, cfg.MaxJobs),
+		drainCh:  make(chan struct{}),
+		jobsCtx:  ctx,
+		stopJobs: cancel,
+		runAll:   lsnuma.RunAll,
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /version", s.handleVersion)
+	s.mux.HandleFunc("POST /api/v1/point", s.isolate(s.handlePoint))
+	s.mux.HandleFunc("POST /api/v1/sweep", s.isolate(s.handleSweep))
+	s.mux.HandleFunc("POST /api/v1/compare", s.isolate(s.handleCompare))
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the counters for tests and embedding binaries.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Draining reports whether a drain has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// QueueDepth returns the current number of jobs waiting for a slot.
+func (s *Server) QueueDepth() int64 { return s.queued.Load() }
+
+// Inflight returns the current number of jobs holding a slot.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// Drain performs a graceful shutdown of the job layer: stop admitting
+// (new arrivals get 503, queued waiters are bounced), let in-flight
+// jobs finish, and return once queue and pool are both empty. If ctx
+// expires first, in-flight simulations are aborted via their contexts
+// and ctx's error is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.queued.Load() == 0 && s.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.stopJobs()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close aborts everything immediately (used after a failed Drain).
+func (s *Server) Close() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+	s.stopJobs()
+}
+
+// ---------------------------------------------------------------------
+// Admission control.
+
+// admit implements the NACK discipline in front of the execution pool.
+// It returns a release function and true when the job may run; on false
+// the response has already been written (429 queue-full with
+// Retry-After, 503 draining) or the client is gone.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.draining.Load() {
+		s.rejectDraining(w)
+		return nil, false
+	}
+	got := false
+	select {
+	case s.slots <- struct{}{}:
+		got = true
+	default:
+	}
+	if !got {
+		if q := s.queued.Add(1); q > int64(s.cfg.QueueDepth) {
+			s.queued.Add(-1)
+			s.metrics.Rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(s.metrics.retryAfterSeconds(q-1, s.cfg.MaxJobs)))
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{
+				"error": "job queue is full; retry after the indicated backoff",
+			})
+			return nil, false
+		}
+		s.metrics.QueuedTotal.Add(1)
+		select {
+		case s.slots <- struct{}{}:
+			s.queued.Add(-1)
+		case <-r.Context().Done():
+			s.queued.Add(-1)
+			s.metrics.AbandonedQueue.Add(1)
+			return nil, false
+		case <-s.drainCh:
+			s.queued.Add(-1)
+			s.rejectDraining(w)
+			return nil, false
+		}
+	}
+	// Publish the in-flight claim before re-checking the drain flag:
+	// if Drain's zero-poll missed this increment it must have stored
+	// the flag first, so we observe it here and bounce — no job can
+	// slip past a completed drain.
+	s.inflight.Add(1)
+	if s.draining.Load() {
+		s.inflight.Add(-1)
+		<-s.slots
+		s.rejectDraining(w)
+		return nil, false
+	}
+	s.metrics.Admitted.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.inflight.Add(-1)
+			<-s.slots
+		})
+	}, true
+}
+
+func (s *Server) rejectDraining(w http.ResponseWriter) {
+	s.metrics.RejectedDraining.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+		"error": "daemon is draining; no new jobs accepted",
+	})
+}
+
+// jobContext derives a job's context: cancelled when the client goes
+// away, when the request handler returns, or when the server aborts
+// in-flight work (drain deadline, Close).
+func (s *Server) jobContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.jobsCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// isolate wraps a job handler so a panic becomes a structured 500 (or a
+// trailing NDJSON error record when the stream is already open) instead
+// of killing the daemon.
+func (s *Server) isolate(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.Panics.Add(1)
+				// Best-effort: if nothing was written yet this sets the
+				// status; on an open stream it appends a parseable error
+				// record. Either way the client sees the failure and the
+				// daemon lives on.
+				writeJSON(w, http.StatusInternalServerError, map[string]string{
+					"error": fmt.Sprintf("internal panic: %v", rec),
+					"stack": string(debug.Stack()),
+				})
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Requests.
+
+// JobRequest is the JSON body of the point, sweep and compare
+// endpoints.
+type JobRequest struct {
+	// Workload names the program to simulate (default "mp3d").
+	Workload string `json:"workload,omitempty"`
+	// Scale is "test" (default), "small" or "paper".
+	Scale string `json:"scale,omitempty"`
+	// Sweep selects the Table 1 axis for /api/v1/sweep: block, l1, l2
+	// or nodes. Ignored by the other endpoints.
+	Sweep string `json:"sweep,omitempty"`
+	// Config overrides fields of the workload's default lsnuma.Config
+	// (unknown fields are rejected). The point endpoint reads the
+	// protocol from Config.Protocol; sweep and compare run every
+	// protocol.
+	Config json.RawMessage `json:"config,omitempty"`
+	// PointTimeoutMs lowers the per-point deadline below the server's
+	// ceiling for this job (0 = server default).
+	PointTimeoutMs int64 `json:"point_timeout_ms,omitempty"`
+}
+
+// parseJob decodes and validates a job request, returning the resolved
+// base config and scale.
+func parseJob(r *http.Request) (JobRequest, lsnuma.Config, lsnuma.Scale, error) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, lsnuma.Config{}, 0, fmt.Errorf("bad request body: %w", err)
+	}
+	if req.Workload == "" {
+		req.Workload = "mp3d"
+	}
+	if !slices.Contains(lsnuma.Workloads(), req.Workload) {
+		return req, lsnuma.Config{}, 0, fmt.Errorf("unknown workload %q (want one of %v)", req.Workload, lsnuma.Workloads())
+	}
+	scale := lsnuma.ScaleTest
+	if req.Scale != "" {
+		var err error
+		if scale, err = workload.ParseScale(req.Scale); err != nil {
+			return req, lsnuma.Config{}, 0, err
+		}
+	}
+	base := lsnuma.DefaultConfig()
+	if req.Workload == "oltp" {
+		base = lsnuma.OLTPConfig()
+	}
+	if len(req.Config) > 0 {
+		over := json.NewDecoder(bytes.NewReader(req.Config))
+		over.DisallowUnknownFields()
+		if err := over.Decode(&base); err != nil {
+			return req, lsnuma.Config{}, 0, fmt.Errorf("bad config override: %w", err)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		return req, lsnuma.Config{}, 0, fmt.Errorf("invalid config: %w", err)
+	}
+	return req, base, scale, nil
+}
+
+// runOpts assembles the RunOptions for one job: the server's pool
+// bound, the tighter of the server and request point deadlines, the
+// shared cache, and the streaming hook.
+func (s *Server) runOpts(req JobRequest, onPoint func(int, lsnuma.PointResult)) lsnuma.RunOptions {
+	pt := s.cfg.PointTimeout
+	if req.PointTimeoutMs > 0 {
+		rt := time.Duration(req.PointTimeoutMs) * time.Millisecond
+		if pt == 0 || rt < pt {
+			pt = rt
+		}
+	}
+	return lsnuma.RunOptions{
+		Parallelism:  s.cfg.Parallelism,
+		PointTimeout: pt,
+		Cache:        s.cache,
+		OnPoint:      onPoint,
+	}
+}
+
+// ---------------------------------------------------------------------
+// Responses.
+
+// ReproInfo is the JSON rendering of a failed point's diagnostic
+// bundle.
+type ReproInfo struct {
+	Workload   string   `json:"workload"`
+	Scale      string   `json:"scale"`
+	Diagnosis  string   `json:"diagnosis,omitempty"`
+	Retry      string   `json:"retry,omitempty"`
+	LastOps    []string `json:"last_ops,omitempty"`
+	StackBytes int      `json:"stack_bytes,omitempty"`
+	// Text is the human rendering (report.ReproText), identical to the
+	// indented block lssweep prints under a FAILED cell.
+	Text string `json:"text,omitempty"`
+}
+
+func reproInfo(b *lsnuma.ReproBundle) *ReproInfo {
+	if b == nil {
+		return nil
+	}
+	ri := &ReproInfo{
+		Workload:   b.Workload,
+		Scale:      b.Scale.String(),
+		Diagnosis:  b.Diagnosis,
+		Retry:      b.Retry,
+		StackBytes: len(b.Stack),
+		Text:       report.ReproText(b, ""),
+	}
+	for _, op := range b.LastOps {
+		ri.LastOps = append(ri.LastOps, op.String())
+	}
+	return ri
+}
+
+// PointResponse is the point endpoint's JSON reply.
+type PointResponse struct {
+	Label     string         `json:"label"`
+	Result    *lsnuma.Result `json:"result,omitempty"`
+	Cached    bool           `json:"cached,omitempty"`
+	Deduped   bool           `json:"deduped,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Repro     *ReproInfo     `json:"repro,omitempty"`
+	ElapsedMs int64          `json:"elapsed_ms"`
+}
+
+// StreamRecord is one NDJSON line of a sweep or compare stream. Type is
+// "job" (stream header), "cell" (one sweep grid point), "point" (one
+// compare protocol), or "done" (trailer).
+type StreamRecord struct {
+	Type     string `json:"type"`
+	Endpoint string `json:"endpoint,omitempty"`
+	Version  string `json:"version,omitempty"`
+	// Points and Cells size the job in the header record.
+	Points int `json:"points,omitempty"`
+	Cells  int `json:"cells,omitempty"`
+
+	Index    int            `json:"index,omitempty"`
+	Label    string         `json:"label,omitempty"`
+	Protocol string         `json:"protocol,omitempty"`
+	Result   *lsnuma.Result `json:"result,omitempty"`
+	Cached   bool           `json:"cached,omitempty"`
+	Deduped  bool           `json:"deduped,omitempty"`
+	// Errors maps protocol to failure for a sweep cell's holes.
+	Errors map[string]string `json:"errors,omitempty"`
+	Error  string            `json:"error,omitempty"`
+	Repro  *ReproInfo        `json:"repro,omitempty"`
+	// Text is the cell rendered exactly as lssweep prints it.
+	Text string `json:"text,omitempty"`
+
+	Failed    int   `json:"failed,omitempty"`
+	ElapsedMs int64 `json:"elapsed_ms,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing useful to do on a dead client
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+}
+
+// ndjsonWriter serializes NDJSON records onto a streamed response,
+// flushing after each one so clients see results as they complete.
+type ndjsonWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	rc  *http.ResponseController
+	err error
+}
+
+func newNDJSON(w http.ResponseWriter) *ndjsonWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	return &ndjsonWriter{enc: json.NewEncoder(w), rc: http.NewResponseController(w)}
+}
+
+func (n *ndjsonWriter) write(rec StreamRecord) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.err != nil {
+		return
+	}
+	if err := n.enc.Encode(rec); err != nil {
+		n.err = err
+		return
+	}
+	n.rc.Flush() //nolint:errcheck // flush is best-effort on streams
+}
+
+// ---------------------------------------------------------------------
+// Handlers.
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"queue":    s.queued.Load(),
+		"inflight": s.inflight.Load(),
+		"version":  s.cfg.Version,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, gauges{
+		queueDepth: s.queued.Load(),
+		inflight:   s.inflight.Load(),
+		draining:   s.draining.Load(),
+		cacheHits:  st.Hits,
+		cacheMiss:  st.Misses,
+		cacheSkips: st.Skips,
+		cacheErrs:  st.Errors,
+		cacheDedup: st.Dedups,
+	})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"binary":  "lsnumad",
+		"version": s.cfg.Version,
+		"detail":  version.String("lsnumad"),
+	})
+}
+
+// handlePoint runs one (config, workload, scale) point and replies with
+// plain JSON: 200 with the result, 400 on a bad request, 500 with the
+// repro bundle on a failed simulation, 504 on a point deadline.
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	req, base, scale, err := parseJob(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	ctx, cancel := s.jobContext(r)
+	defer cancel()
+
+	pt := lsnuma.Point{
+		Label:    fmt.Sprintf("%s/%s", req.Workload, base.ProtocolName()),
+		Config:   base,
+		Workload: req.Workload,
+		Scale:    scale,
+	}
+	results, _ := s.runAll(ctx, []lsnuma.Point{pt}, s.runOpts(req, nil))
+	pr := results[0]
+	s.finishJob("point", start, results)
+
+	resp := PointResponse{
+		Label:     pr.Label,
+		Result:    pr.Result,
+		Cached:    pr.Cached,
+		Deduped:   pr.Deduped,
+		Repro:     reproInfo(pr.Repro),
+		ElapsedMs: time.Since(start).Milliseconds(),
+	}
+	switch {
+	case pr.Err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case r.Context().Err() != nil:
+		// Client gone: nothing to write.
+	default:
+		resp.Error = pr.Err.Error()
+		status := http.StatusInternalServerError
+		if errors.Is(pr.Err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		} else if s.jobsCtx.Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, resp)
+	}
+}
+
+// handleSweep runs the Table 1 grid along the requested axis under
+// every protocol and streams NDJSON: a "job" header, one "cell" record
+// per grid point in grid order as soon as the cell's protocols have all
+// completed, and a "done" trailer. Each cell record's "text" field is
+// byte-identical to the block lssweep prints for the same cell.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	req, base, scale, err := parseJob(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	if req.Sweep == "" {
+		badRequest(w, errors.New(`missing "sweep" (want block, l1, l2, nodes)`))
+		return
+	}
+	param, err := lsnuma.ParseSweepParam(req.Sweep)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	grid, points, err := lsnuma.SweepPoints(param, base, req.Workload, scale)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	if len(points) > s.cfg.MaxPointsPerJob {
+		badRequest(w, fmt.Errorf("job expands to %d points, over the %d limit", len(points), s.cfg.MaxPointsPerJob))
+		return
+	}
+	ctx, cancel := s.jobContext(r)
+	defer cancel()
+
+	out := newNDJSON(w)
+	out.write(StreamRecord{
+		Type: "job", Endpoint: "sweep", Version: s.cfg.Version,
+		Label: string(param), Points: len(points), Cells: len(grid),
+	})
+
+	nproto := len(lsnuma.Protocols())
+	var (
+		mu      sync.Mutex
+		results = make([]lsnuma.PointResult, len(points))
+		remain  = make([]int, len(grid))
+		next    int
+	)
+	for i := range remain {
+		remain[i] = nproto
+	}
+	// emit streams cell ci from results; callers hold mu and only pass
+	// each index once, in grid order.
+	emit := func(ci int) {
+		cell := lsnuma.CellResult(grid[ci], results[ci*nproto:(ci+1)*nproto])
+		text, _ := report.SweepCell(cell)
+		rec := StreamRecord{Type: "cell", Index: ci, Label: cell.Label, Text: text}
+		for p, cerr := range cell.Errs {
+			if rec.Errors == nil {
+				rec.Errors = make(map[string]string, len(cell.Errs))
+			}
+			rec.Errors[string(p)] = cerr.Error()
+		}
+		out.write(rec)
+	}
+	onPoint := func(i int, pr lsnuma.PointResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i] = pr
+		remain[i/nproto]--
+		for next < len(grid) && remain[next] == 0 {
+			emit(next)
+			next++
+		}
+	}
+	final, runErr := s.runAll(ctx, points, s.runOpts(req, onPoint))
+
+	// Cancellation-skipped points never reach onPoint; flush the
+	// remaining cells (annotated holes) from the final slice.
+	mu.Lock()
+	copy(results, final)
+	for ; next < len(grid); next++ {
+		emit(next)
+	}
+	mu.Unlock()
+
+	failed := s.finishJob("sweep", start, final)
+	done := StreamRecord{Type: "done", Failed: failed, ElapsedMs: time.Since(start).Milliseconds()}
+	if runErr != nil && ctx.Err() != nil {
+		done.Error = fmt.Sprintf("interrupted (%v); cells above are partial with annotated holes", ctx.Err())
+	}
+	out.write(done)
+}
+
+// handleCompare runs one configuration under every protocol and streams
+// NDJSON: a "job" header, one "point" record per protocol in
+// Protocols() order as each completes, and a "done" trailer.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	req, base, scale, err := parseJob(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	ctx, cancel := s.jobContext(r)
+	defer cancel()
+
+	protos := lsnuma.Protocols()
+	points := make([]lsnuma.Point, len(protos))
+	for i, p := range protos {
+		cfg := base
+		cfg.Protocol = p
+		points[i] = lsnuma.Point{
+			Label:    fmt.Sprintf("%s/%s", req.Workload, p),
+			Config:   cfg,
+			Workload: req.Workload,
+			Scale:    scale,
+		}
+	}
+
+	out := newNDJSON(w)
+	out.write(StreamRecord{
+		Type: "job", Endpoint: "compare", Version: s.cfg.Version,
+		Label: req.Workload, Points: len(points),
+	})
+
+	var (
+		mu      sync.Mutex
+		results = make([]lsnuma.PointResult, len(points))
+		done    = make([]bool, len(points))
+		next    int
+	)
+	emit := func(i int) { // mu held; each index passed once, in order
+		pr := results[i]
+		rec := StreamRecord{
+			Type: "point", Index: i, Label: pr.Label, Protocol: string(protos[i]),
+			Result: pr.Result, Cached: pr.Cached, Deduped: pr.Deduped,
+			Repro: reproInfo(pr.Repro),
+		}
+		if pr.Err != nil {
+			rec.Error = pr.Err.Error()
+		}
+		out.write(rec)
+	}
+	onPoint := func(i int, pr lsnuma.PointResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i] = pr
+		done[i] = true
+		for next < len(points) && done[next] {
+			emit(next)
+			next++
+		}
+	}
+	final, runErr := s.runAll(ctx, points, s.runOpts(req, onPoint))
+
+	mu.Lock()
+	copy(results, final)
+	for ; next < len(points); next++ {
+		emit(next)
+	}
+	mu.Unlock()
+
+	failed := s.finishJob("compare", start, final)
+	trailer := StreamRecord{Type: "done", Failed: failed, ElapsedMs: time.Since(start).Milliseconds()}
+	if runErr != nil && ctx.Err() != nil {
+		trailer.Error = fmt.Sprintf("interrupted (%v); points above are partial", ctx.Err())
+	}
+	out.write(trailer)
+}
+
+// finishJob accounts a completed job's points into the metrics and
+// returns the failed-point count.
+func (s *Server) finishJob(endpoint string, start time.Time, results []lsnuma.PointResult) int {
+	failed := 0
+	for _, pr := range results {
+		var nacks, retries uint64
+		if pr.Result != nil {
+			nacks, retries = pr.Result.Resil.Nacks, pr.Result.Resil.Retries
+		}
+		s.metrics.point(pr.Err != nil, pr.Cached, pr.Deduped, nacks, retries)
+		if pr.Err != nil {
+			failed++
+		}
+	}
+	s.metrics.Completed.Add(1)
+	if failed > 0 {
+		s.metrics.JobFailures.Add(1)
+	}
+	s.metrics.observe(endpoint, time.Since(start))
+	return failed
+}

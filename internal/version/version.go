@@ -1,0 +1,27 @@
+// Package version carries the build stamp every lsnuma binary reports
+// through its -version flag — the ops-traceability hook that ties a
+// running daemon or a CI artifact back to the exact build that produced
+// it.
+package version
+
+import (
+	"fmt"
+	"runtime"
+
+	"lsnuma/internal/engine"
+)
+
+// Version is the build stamp, overridden at build time with
+//
+//	go build -ldflags "-X lsnuma/internal/version.Version=v1.2.3+gabcdef"
+//
+// Unstamped builds report "dev".
+var Version = "dev"
+
+// String renders the one-line version report for the named binary:
+// build stamp, engine schema generation (the result-cache compatibility
+// key), and the toolchain/platform it was built for.
+func String(binary string) string {
+	return fmt.Sprintf("%s %s (engine schema v%d, %s, %s/%s)",
+		binary, Version, engine.SchemaVersion, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -36,6 +36,10 @@ type CacheStats struct {
 	// Errors counts failed cache operations (hashing or write failures);
 	// the affected points still simulate normally.
 	Errors uint64
+	// Dedups is the number of points answered by joining another
+	// in-flight computation of the same key (single-flight stampede
+	// protection) instead of simulating or reading the store.
+	Dedups uint64
 }
 
 // ResultCache memoizes point Results persistently (see RunOptions.Cache):
@@ -43,12 +47,20 @@ type CacheStats struct {
 // engine schema version — matches a stored entry returns the stored
 // Result byte-identically instead of simulating. Safe for concurrent use
 // by any number of goroutines and processes sharing one cache directory.
+//
+// In front of the persistent store sits an in-process single-flight
+// layer: concurrent computations of the same key collapse into one
+// simulation whose outcome every caller shares (see CacheStats.Dedups
+// and PointResult.Deduped). A cache with no backing directory —
+// NewDedupCache — provides only that layer.
 type ResultCache struct {
-	c      *resultcache.Cache
+	c      *resultcache.Cache // nil for a dedup-only cache
+	flight resultcache.Flight[pointOutcome]
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	skips  atomic.Uint64
 	errs   atomic.Uint64
+	dedups atomic.Uint64
 }
 
 // OpenResultCache opens (creating if needed) the persistent result cache
@@ -64,7 +76,14 @@ func OpenResultCache(dir string) (*ResultCache, error) {
 	return &ResultCache{c: c}, nil
 }
 
-// Stats returns the cache's hit/miss/skip/error counters.
+// NewDedupCache returns a ResultCache with no persistent store: every
+// lookup misses and nothing is written to disk, but concurrent
+// computations of identical points still collapse into one simulation
+// through the single-flight layer. This is what a daemon uses when
+// on-disk caching is disabled but stampede protection must stay on.
+func NewDedupCache() *ResultCache { return &ResultCache{} }
+
+// Stats returns the cache's hit/miss/skip/error/dedup counters.
 func (rc *ResultCache) Stats() CacheStats {
 	if rc == nil {
 		return CacheStats{}
@@ -74,6 +93,7 @@ func (rc *ResultCache) Stats() CacheStats {
 		Misses: rc.misses.Load(),
 		Skips:  rc.skips.Load(),
 		Errors: rc.errs.Load(),
+		Dedups: rc.dedups.Load(),
 	}
 }
 
@@ -109,20 +129,13 @@ type cacheEnvelope struct {
 // remembered.
 func cacheable(cfg Config) bool { return cfg.Faults == "" }
 
-// lookup returns the cached Result for pt, if any. Every failure mode of
-// the stored entry — absent, unreadable, truncated, corrupted, written
-// under a different key or schema — is a miss, never an error.
-func (rc *ResultCache) lookup(pt Point) (*Result, bool) {
-	if rc == nil {
-		return nil, false
-	}
-	if !cacheable(pt.Config) {
-		rc.skips.Add(1)
-		return nil, false
-	}
-	key, err := PointKey(pt.Config, pt.Workload, pt.Scale)
-	if err != nil {
-		rc.errs.Add(1)
+// get returns the stored Result under key, if any. Every failure mode
+// of the stored entry — absent, unreadable, truncated, corrupted,
+// written under a different key or schema — is a miss, never an error.
+// A dedup-only cache (nil store) always misses.
+func (rc *ResultCache) get(key string) (*Result, bool) {
+	if rc.c == nil {
+		rc.misses.Add(1)
 		return nil, false
 	}
 	data, ok := rc.c.Get(key)
@@ -140,15 +153,11 @@ func (rc *ResultCache) lookup(pt Point) (*Result, bool) {
 	return env.Result, true
 }
 
-// store memoizes a fresh Result. Failures only bump the error counter:
-// the simulation already succeeded, and the cache is an optimization.
-func (rc *ResultCache) store(pt Point, res *Result) {
-	if rc == nil || !cacheable(pt.Config) {
-		return
-	}
-	key, err := PointKey(pt.Config, pt.Workload, pt.Scale)
-	if err != nil {
-		rc.errs.Add(1)
+// put memoizes a fresh Result under key. Failures only bump the error
+// counter: the simulation already succeeded, and the cache is an
+// optimization. A dedup-only cache drops the write.
+func (rc *ResultCache) put(key string, res *Result) {
+	if rc.c == nil {
 		return
 	}
 	data, err := json.Marshal(cacheEnvelope{Schema: resultSchema, Key: key, Result: res})
@@ -159,4 +168,88 @@ func (rc *ResultCache) store(pt Point, res *Result) {
 	if err := rc.c.Put(key, data); err != nil {
 		rc.errs.Add(1)
 	}
+}
+
+// lookup returns the cached Result for pt, if any (see get for the
+// miss semantics). Kept as the direct, flight-free read path for tests
+// and tools; RunAll goes through do.
+func (rc *ResultCache) lookup(pt Point) (*Result, bool) {
+	if rc == nil {
+		return nil, false
+	}
+	if !cacheable(pt.Config) {
+		rc.skips.Add(1)
+		return nil, false
+	}
+	key, err := PointKey(pt.Config, pt.Workload, pt.Scale)
+	if err != nil {
+		rc.errs.Add(1)
+		return nil, false
+	}
+	return rc.get(key)
+}
+
+// store memoizes a fresh Result (see put for the failure semantics).
+func (rc *ResultCache) store(pt Point, res *Result) {
+	if rc == nil || !cacheable(pt.Config) {
+		return
+	}
+	key, err := PointKey(pt.Config, pt.Workload, pt.Scale)
+	if err != nil {
+		rc.errs.Add(1)
+		return
+	}
+	rc.put(key, res)
+}
+
+// pointOutcome is what one flight of a point's computation produced —
+// the value shared between a single-flight leader and its followers.
+type pointOutcome struct {
+	res    *Result
+	bundle *ReproBundle
+	cached bool
+	err    error
+}
+
+// do runs one point's computation through the cache stack: the
+// persistent store first (a hit returns the stored Result), then the
+// single-flight layer (exactly one of N concurrent identical
+// computations runs; the rest share its outcome, flagged deduped), then
+// compute itself, whose successful Result is written back to the store.
+// A nil cache, an uncacheable point (fault injection) or an unhashable
+// config computes directly with no dedup.
+//
+// A follower waits for its leader without observing its own context;
+// identical points carry identical deadlines, so the wait is bounded by
+// the same budget the follower's own computation would have had.
+func (rc *ResultCache) do(pt Point, compute func() (*Result, *ReproBundle, error)) (res *Result, bundle *ReproBundle, cached, deduped bool, err error) {
+	if rc == nil {
+		res, bundle, err = compute()
+		return
+	}
+	if !cacheable(pt.Config) {
+		rc.skips.Add(1)
+		res, bundle, err = compute()
+		return
+	}
+	key, kerr := PointKey(pt.Config, pt.Workload, pt.Scale)
+	if kerr != nil {
+		rc.errs.Add(1)
+		res, bundle, err = compute()
+		return
+	}
+	o, deduped := rc.flight.Do(key, func() pointOutcome {
+		if res, ok := rc.get(key); ok {
+			return pointOutcome{res: res, cached: true}
+		}
+		res, bundle, err := compute()
+		if err == nil {
+			rc.put(key, res)
+		}
+		return pointOutcome{res: res, bundle: bundle, err: err}
+	})
+	if deduped {
+		rc.dedups.Add(1)
+	}
+	return o.res, o.bundle, o.cached, deduped, o.err
 }

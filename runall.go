@@ -31,6 +31,11 @@ type PointResult struct {
 	// Cached reports that Result came from the persistent result cache
 	// (RunOptions.Cache) instead of a fresh simulation.
 	Cached bool
+	// Deduped reports that the outcome was shared from a concurrent
+	// in-flight computation of an identical point (single-flight
+	// stampede protection in RunOptions.Cache) rather than computed or
+	// read from disk by this point itself.
+	Deduped bool
 }
 
 // OpTrace is one memory operation from a failed run's crash-diagnostics
@@ -95,8 +100,20 @@ type RunOptions struct {
 	// is looked up by its content hash before simulating (a hit returns
 	// the stored Result byte-identically and marks the PointResult
 	// Cached), and successful fresh runs are stored back. Failed points
-	// are never cached. See OpenResultCache.
+	// are never cached. Concurrent computations of identical points —
+	// within one RunAll or across RunAll calls sharing the cache —
+	// additionally collapse into a single simulation (single-flight;
+	// the sharers are marked Deduped). See OpenResultCache and
+	// NewDedupCache.
 	Cache *ResultCache
+	// OnPoint, if non-nil, is invoked as each point completes (success,
+	// cache hit or failure), before RunAll returns — the streaming hook
+	// behind the lsnumad daemon's NDJSON responses. Calls come from the
+	// worker goroutines in completion order, possibly concurrently: the
+	// callback must be safe for concurrent use and should return
+	// quickly. Points skipped by context cancellation do not invoke it;
+	// they appear only in RunAll's returned slice.
+	OnPoint func(i int, pr PointResult)
 }
 
 // reproRingSize is the operation-ring length used by the automatic
@@ -171,20 +188,18 @@ func RunAll(ctx context.Context, points []Point, opt RunOptions) ([]PointResult,
 		out[i].Point = points[i]
 	}
 	errs, err := runner.RunEach(ctx, len(points), opt.Parallelism, opt.PointTimeout, func(ctx context.Context, i int) error {
-		if res, ok := opt.Cache.lookup(points[i]); ok {
-			out[i].Result = res
-			out[i].Cached = true
-			return nil
-		}
-		res, bundle, err := runPointDiag(ctx, points[i], opt.NoRetry)
-		if err != nil {
-			out[i].Err = err
-			out[i].Repro = bundle
-			return err
-		}
-		opt.Cache.store(points[i], res)
+		res, bundle, cached, deduped, err := opt.Cache.do(points[i], func() (*Result, *ReproBundle, error) {
+			return runPointDiag(ctx, points[i], opt.NoRetry)
+		})
 		out[i].Result = res
-		return nil
+		out[i].Repro = bundle
+		out[i].Cached = cached
+		out[i].Deduped = deduped
+		out[i].Err = err
+		if opt.OnPoint != nil {
+			opt.OnPoint(i, out[i])
+		}
+		return err
 	})
 	if err != nil {
 		// Points skipped by cancellation carry the context error; a panic

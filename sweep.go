@@ -97,15 +97,15 @@ type SweepResult struct {
 	Repros map[Protocol]*ReproBundle
 }
 
-// Sweep runs the Table 1 grid along param for the workload under every
-// protocol, with all (point, protocol) simulations executing concurrently
-// on a bounded worker pool. Results come back in grid order; a failed
-// simulation leaves a nil entry in its point's map and is reported in the
-// aggregated error, without aborting the other points.
-func Sweep(ctx context.Context, base Config, param SweepParam, workloadName string, scale Scale, opt RunOptions) ([]SweepResult, error) {
+// SweepPoints expands the Table 1 grid along param into the flat
+// (point, protocol) list that Sweep executes: the labeled grid plus
+// len(grid)*len(Protocols()) points in grid-major, protocol-minor
+// order. Exported so services (the lsnumad daemon) can run the exact
+// point set Sweep would and stream cells as they complete.
+func SweepPoints(param SweepParam, base Config, workloadName string, scale Scale) ([]SweepPoint, []Point, error) {
 	grid, err := SweepGrid(param, base)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	protos := Protocols()
 	points := make([]Point, 0, len(grid)*len(protos))
@@ -121,22 +121,46 @@ func Sweep(ctx context.Context, base Config, param SweepParam, workloadName stri
 			})
 		}
 	}
+	return grid, points, nil
+}
+
+// CellResult assembles one grid point's SweepResult from its
+// per-protocol PointResults (in Protocols() order — the slice
+// results[i*len(Protocols()) : (i+1)*len(Protocols())] of a
+// SweepPoints run).
+func CellResult(g SweepPoint, prs []PointResult) SweepResult {
+	protos := Protocols()
+	out := SweepResult{Label: g.Label, Config: g.Config, Results: make(map[Protocol]*Result, len(protos))}
+	for j, p := range protos {
+		pr := prs[j]
+		out.Results[p] = pr.Result
+		if pr.Err != nil {
+			if out.Errs == nil {
+				out.Errs = make(map[Protocol]error)
+				out.Repros = make(map[Protocol]*ReproBundle)
+			}
+			out.Errs[p] = pr.Err
+			out.Repros[p] = pr.Repro
+		}
+	}
+	return out
+}
+
+// Sweep runs the Table 1 grid along param for the workload under every
+// protocol, with all (point, protocol) simulations executing concurrently
+// on a bounded worker pool. Results come back in grid order; a failed
+// simulation leaves a nil entry in its point's map and is reported in the
+// aggregated error, without aborting the other points.
+func Sweep(ctx context.Context, base Config, param SweepParam, workloadName string, scale Scale, opt RunOptions) ([]SweepResult, error) {
+	grid, points, err := SweepPoints(param, base, workloadName, scale)
+	if err != nil {
+		return nil, err
+	}
 	results, runErr := RunAll(ctx, points, opt)
+	protos := Protocols()
 	out := make([]SweepResult, len(grid))
 	for i, g := range grid {
-		out[i] = SweepResult{Label: g.Label, Config: g.Config, Results: make(map[Protocol]*Result, len(protos))}
-		for j, p := range protos {
-			pr := results[i*len(protos)+j]
-			out[i].Results[p] = pr.Result
-			if pr.Err != nil {
-				if out[i].Errs == nil {
-					out[i].Errs = make(map[Protocol]error)
-					out[i].Repros = make(map[Protocol]*ReproBundle)
-				}
-				out[i].Errs[p] = pr.Err
-				out[i].Repros[p] = pr.Repro
-			}
-		}
+		out[i] = CellResult(g, results[i*len(protos):(i+1)*len(protos)])
 	}
 	return out, runErr
 }
