@@ -15,11 +15,21 @@
 //   - Graceful drain: SIGTERM/SIGINT stops admissions (503), lets
 //     in-flight jobs finish, flushes, and exits; a second signal or the
 //     drain deadline aborts remaining work via context cancellation.
+//   - Crash durability (-state-dir): every accepted job is write-ahead
+//     journaled, sweep progress is checkpointed through the result
+//     cache, and a restart replays incomplete jobs — a kill -9 costs
+//     only the points that were literally in flight.
+//   - Per-tenant fairness: admission is deficit-round-robin across the
+//     "tenant" request field, so one greedy client cannot starve the
+//     queue; anonymous clients share a default bucket with the old FIFO
+//     behavior.
 //
 // Usage:
 //
 //	lsnumad -addr :8347 -cache -jobs 4 -queue 16
-//	curl -s localhost:8347/api/v1/sweep -d '{"workload":"mp3d","sweep":"block"}'
+//	lsnumad -addr :8347 -state-dir /var/lib/lsnumad   # durable jobs + cache
+//	curl -s localhost:8347/api/v1/sweep -d '{"workload":"mp3d","sweep":"block","tenant":"team-a"}'
+//	curl -s localhost:8347/api/v1/jobs/<id>
 //	curl -s localhost:8347/metrics
 package main
 
@@ -31,11 +41,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"lsnuma"
 	"lsnuma/internal/server"
+	"lsnuma/internal/server/journal"
 	"lsnuma/internal/version"
 )
 
@@ -44,6 +56,10 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:8347", "listen address")
 		jobs         = flag.Int("jobs", 2, "concurrent job slots")
 		queue        = flag.Int("queue", 8, "admission queue depth (beyond it: 429 + Retry-After)")
+		tenantQueue  = flag.Int("tenant-queue", 0, "per-tenant queue depth (0 = same as -queue)")
+		quantum      = flag.Int("quantum", 0, "deficit-round-robin quantum in points (0 = default 8)")
+		retrySeed    = flag.Duration("retry-seed", 0, "assumed job duration for Retry-After before the first job completes (0 = 1s)")
+		stateDir     = flag.String("state-dir", "", "journal accepted jobs under this directory and replay incomplete ones on startup (implies a result cache at <state-dir>/cache unless -cache-dir or -no-cache overrides)")
 		parallelism  = flag.Int("j", 0, "per-job simulation parallelism (0 = all cores)")
 		pointTimeout = flag.Duration("point-timeout", 0, "per-point wall clock ceiling (0 = none); requests may lower it, never raise it")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM/SIGINT")
@@ -58,6 +74,12 @@ func main() {
 		return
 	}
 
+	// -state-dir implies a persistent cache: resumption works by
+	// re-reading completed points, so a journal without a cache would
+	// replay jobs from scratch.
+	if *stateDir != "" && *cacheDir == "" && !*cacheFlag {
+		*cacheDir = filepath.Join(*stateDir, "cache")
+	}
 	var cache *lsnuma.ResultCache
 	if (*cacheFlag || *cacheDir != "") && !*noCache {
 		var err error
@@ -66,13 +88,32 @@ func main() {
 		}
 	}
 
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "lsnumad: "+format+"\n", args...)
+	}
+	var jn *journal.Journal
+	if *stateDir != "" {
+		var err error
+		if jn, err = journal.Open(*stateDir, logf); err != nil {
+			fatal(err)
+		}
+	}
+
 	srv := server.New(server.Config{
-		MaxJobs:      *jobs,
-		QueueDepth:   *queue,
-		Parallelism:  *parallelism,
-		PointTimeout: *pointTimeout,
-		Cache:        cache,
+		MaxJobs:          *jobs,
+		QueueDepth:       *queue,
+		TenantQueueDepth: *tenantQueue,
+		Quantum:          *quantum,
+		RetrySeed:        *retrySeed,
+		Journal:          jn,
+		Parallelism:      *parallelism,
+		PointTimeout:     *pointTimeout,
+		Cache:            cache,
+		Logf:             logf,
 	})
+	if n := srv.Recover(); n > 0 {
+		fmt.Fprintf(os.Stderr, "lsnumad: replaying %d incomplete job(s) from %s\n", n, *stateDir)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errCh := make(chan error, 1)

@@ -1,0 +1,206 @@
+package server
+
+import "sync"
+
+// defaultTenant is the admission bucket for requests that carry no
+// tenant field. Anonymous clients all share it, which degenerates to
+// exactly the pre-fairness behavior: one FIFO queue with the full
+// QueueDepth cap.
+const defaultTenant = "default"
+
+// maxTenants bounds the number of distinct tenants with queued jobs at
+// once. Beyond it new tenants are NACKed like a full queue — it caps
+// total queued work at maxTenants*tenantCap and stops a tenant-name
+// cardinality attack from growing the queue (and the metrics) without
+// bound.
+const maxTenants = 64
+
+// waiter is one job waiting for an execution slot. Its ready channel is
+// closed (under the queue mutex) when the slot is granted.
+type waiter struct {
+	tenant string
+	cost   int // job size in points — the DRR currency
+	ready  chan struct{}
+}
+
+// tenantState is one tenant's FIFO plus its running DRR deficit.
+type tenantState struct {
+	name    string
+	queue   []*waiter
+	deficit int
+}
+
+// fairQueue allocates a fixed pool of execution slots across tenants by
+// deficit round-robin: each tenant with queued work is visited in turn,
+// earns quantum deficit per visit, and may start jobs while its head
+// job's cost fits the accumulated deficit. Big jobs therefore wait for
+// a few visits' worth of deficit while small jobs from other tenants
+// keep flowing — bounded per-tenant delay instead of FCFS head-of-line
+// blocking, the same trade the bus service disciplines make.
+//
+// Within one tenant order stays FIFO, so a deployment with only
+// anonymous clients (everything in the default bucket) behaves exactly
+// like the old single queue.
+type fairQueue struct {
+	mu        sync.Mutex
+	free      int // available execution slots
+	quantum   int // deficit earned per DRR visit, in points
+	tenantCap int // per-tenant queue depth bound
+
+	tenants map[string]*tenantState // tenants with queued waiters
+	active  []*tenantState          // round-robin ring over tenants
+	rr      int                     // next ring position to visit
+	depth   int                     // total queued waiters
+}
+
+func newFairQueue(slots, quantum, tenantCap int) *fairQueue {
+	return &fairQueue{
+		free:      slots,
+		quantum:   quantum,
+		tenantCap: tenantCap,
+		tenants:   make(map[string]*tenantState),
+	}
+}
+
+// acquire requests a slot for a job of the given cost. Exactly one of
+// the three outcomes holds: granted (the caller owns a slot now), a
+// non-nil waiter (wait on w.ready; the grant transfers slot ownership),
+// or rejected (tenant queue full, or too many distinct tenants).
+func (f *fairQueue) acquire(tenant string, cost int) (w *waiter, granted, rejected bool) {
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Invariant: free > 0 implies depth == 0 (dispatch drains one or the
+	// other), so an idle slot with nobody queued is an immediate grant —
+	// no DRR bookkeeping, no waiter allocation.
+	if f.free > 0 && f.depth == 0 {
+		f.free--
+		return nil, true, false
+	}
+	ts := f.tenants[tenant]
+	if ts == nil {
+		if len(f.tenants) >= maxTenants {
+			return nil, false, true
+		}
+		ts = &tenantState{name: tenant}
+		f.tenants[tenant] = ts
+	}
+	if len(ts.queue) >= f.tenantCap {
+		if len(ts.queue) == 0 { // tenantCap 0 corner: drop the empty state
+			delete(f.tenants, tenant)
+		}
+		return nil, false, true
+	}
+	w = &waiter{tenant: tenant, cost: cost, ready: make(chan struct{})}
+	ts.queue = append(ts.queue, w)
+	if len(ts.queue) == 1 {
+		f.active = append(f.active, ts)
+	}
+	f.depth++
+	return w, false, false
+}
+
+// release returns a slot to the pool and hands it (and any others idle)
+// to queued waiters by DRR.
+func (f *fairQueue) release() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.free++
+	f.dispatch()
+}
+
+// dispatch grants free slots to queued waiters: visit tenants round-
+// robin, earn quantum per visit, start head jobs whose cost fits the
+// deficit. f.mu held. Terminates because each full ring pass strictly
+// grows every remaining head's deficit.
+func (f *fairQueue) dispatch() {
+	for f.free > 0 && len(f.active) > 0 {
+		if f.rr >= len(f.active) {
+			f.rr = 0
+		}
+		ts := f.active[f.rr]
+		ts.deficit += f.quantum
+		for f.free > 0 && len(ts.queue) > 0 && ts.queue[0].cost <= ts.deficit {
+			w := ts.queue[0]
+			ts.queue = ts.queue[1:]
+			ts.deficit -= w.cost
+			f.depth--
+			f.free--
+			close(w.ready)
+		}
+		if len(ts.queue) == 0 {
+			// An idle tenant keeps no deficit — credit accrues only
+			// while it has work queued, so a long-idle tenant cannot
+			// bank a burst.
+			delete(f.tenants, ts.name)
+			f.active = append(f.active[:f.rr], f.active[f.rr+1:]...)
+			// rr now indexes the next tenant; no advance.
+		} else {
+			f.rr++
+		}
+	}
+}
+
+// abandon withdraws a waiter that stopped waiting (client gone, drain).
+// Returns true when the grant already happened — the slot is the
+// caller's and must be released like any finished job.
+func (f *fairQueue) abandon(w *waiter) (granted bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select {
+	case <-w.ready:
+		// close(ready) happens under f.mu, so this check is race-free:
+		// either the grant committed before we got the lock (the slot is
+		// ours) or it can never happen (we are about to dequeue).
+		return true
+	default:
+	}
+	ts := f.tenants[w.tenant]
+	if ts == nil {
+		return false
+	}
+	for i, q := range ts.queue {
+		if q == w {
+			ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
+			f.depth--
+			break
+		}
+	}
+	if len(ts.queue) == 0 {
+		delete(f.tenants, w.tenant)
+		for i, a := range f.active {
+			if a == ts {
+				f.active = append(f.active[:i], f.active[i+1:]...)
+				if f.rr > i {
+					f.rr--
+				}
+				break
+			}
+		}
+	}
+	return false
+}
+
+// queueDepth returns the total number of queued waiters.
+func (f *fairQueue) queueDepth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.depth
+}
+
+// tenantDepths snapshots per-tenant queue depths for the metrics
+// endpoint.
+func (f *fairQueue) tenantDepths() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.tenants))
+	for name, ts := range f.tenants {
+		out[name] = len(ts.queue)
+	}
+	return out
+}

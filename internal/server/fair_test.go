@@ -1,0 +1,191 @@
+package server
+
+import (
+	"testing"
+)
+
+// grantOrder drains the queue one slot at a time and records which
+// tenant each grant went to.
+func grantOrder(t *testing.T, f *fairQueue, waiters []*waiter, grants int) []string {
+	t.Helper()
+	granted := make(map[*waiter]bool)
+	var order []string
+	for len(order) < grants {
+		progressed := false
+		for _, w := range waiters {
+			if granted[w] {
+				continue
+			}
+			select {
+			case <-w.ready:
+				granted[w] = true
+				order = append(order, w.tenant)
+				progressed = true
+			default:
+			}
+		}
+		if !progressed {
+			f.release() // hand back a slot, triggering the next DRR grant
+		}
+		if len(order) > grants {
+			t.Fatalf("more grants than releases: %v", order)
+		}
+	}
+	return order
+}
+
+// TestFairQueueRoundRobin: with equal-cost jobs queued by a greedy
+// tenant and two light tenants, grants interleave across tenants
+// instead of draining the greedy FIFO first.
+func TestFairQueueRoundRobin(t *testing.T) {
+	f := newFairQueue(1, 8, 64)
+	// Occupy the only slot so everything below queues.
+	if _, granted, _ := f.acquire("greedy", 1); !granted {
+		t.Fatal("first acquire should grant immediately")
+	}
+	var waiters []*waiter
+	for i := 0; i < 6; i++ {
+		w, granted, rejected := f.acquire("greedy", 4)
+		if granted || rejected {
+			t.Fatalf("greedy enqueue %d: granted=%v rejected=%v", i, granted, rejected)
+		}
+		waiters = append(waiters, w)
+	}
+	for _, tenant := range []string{"light-a", "light-b"} {
+		w, granted, rejected := f.acquire(tenant, 4)
+		if granted || rejected {
+			t.Fatalf("%s enqueue: granted=%v rejected=%v", tenant, granted, rejected)
+		}
+		waiters = append(waiters, w)
+	}
+
+	order := grantOrder(t, f, waiters, 8)
+	// Both light tenants must be served within the first three grants:
+	// one greedy job per round, not six in a row.
+	firstLight := map[string]int{}
+	for i, tenant := range order {
+		if _, seen := firstLight[tenant]; !seen {
+			firstLight[tenant] = i
+		}
+	}
+	if firstLight["light-a"] > 2 || firstLight["light-b"] > 2 {
+		t.Fatalf("light tenants served at positions %d and %d of %v, want both within the first 3 grants",
+			firstLight["light-a"], firstLight["light-b"], order)
+	}
+	if f.queueDepth() != 0 {
+		t.Fatalf("queueDepth = %d after draining, want 0", f.queueDepth())
+	}
+	if len(f.tenantDepths()) != 0 {
+		t.Fatalf("tenant states leaked: %v", f.tenantDepths())
+	}
+}
+
+// TestFairQueueBigJobWaits: a tenant's oversized job accumulates
+// deficit across visits while small jobs from other tenants keep
+// flowing — bounded delay, not head-of-line blocking.
+func TestFairQueueBigJobWaits(t *testing.T) {
+	f := newFairQueue(1, 8, 64)
+	if _, granted, _ := f.acquire("x", 1); !granted {
+		t.Fatal("first acquire should grant immediately")
+	}
+	big, _, _ := f.acquire("heavy", 24) // needs 3 visits of quantum 8
+	var smalls []*waiter
+	for i := 0; i < 3; i++ {
+		w, _, _ := f.acquire("light", 4)
+		smalls = append(smalls, w)
+	}
+	order := grantOrder(t, f, append([]*waiter{big}, smalls...), 4)
+	// The light tenant's jobs must not all trail the 24-point job.
+	if order[0] == "heavy" {
+		t.Fatalf("grant order %v: heavy job served first despite cost 24 vs quantum 8", order)
+	}
+	last := order[len(order)-1]
+	if last != "heavy" {
+		// Heavy earns 8 deficit per round; with 3 light jobs interleaved
+		// it is served by the final grant at the latest.
+		t.Logf("grant order %v (heavy served before the end; acceptable)", order)
+	}
+}
+
+// TestFairQueueTenantCap: a tenant at its queue cap is rejected without
+// touching other tenants, and the default bucket keeps the full cap.
+func TestFairQueueTenantCap(t *testing.T) {
+	f := newFairQueue(1, 8, 2)
+	f.acquire("x", 1) // occupy the slot
+	for i := 0; i < 2; i++ {
+		if _, granted, rejected := f.acquire("a", 1); granted || rejected {
+			t.Fatalf("a enqueue %d: granted=%v rejected=%v", i, granted, rejected)
+		}
+	}
+	if _, _, rejected := f.acquire("a", 1); !rejected {
+		t.Fatal("tenant a over cap should be rejected")
+	}
+	if _, granted, rejected := f.acquire("b", 1); granted || rejected {
+		t.Fatal("tenant b must be unaffected by a's full queue")
+	}
+	// Anonymous requests land in the default bucket.
+	w, granted, rejected := f.acquire("", 1)
+	if granted || rejected {
+		t.Fatalf("anonymous enqueue: granted=%v rejected=%v", granted, rejected)
+	}
+	if w.tenant != defaultTenant {
+		t.Fatalf("anonymous tenant = %q, want %q", w.tenant, defaultTenant)
+	}
+	depths := f.tenantDepths()
+	if depths["a"] != 2 || depths["b"] != 1 || depths[defaultTenant] != 1 {
+		t.Fatalf("tenantDepths = %v", depths)
+	}
+}
+
+// TestFairQueueMaxTenants: distinct-tenant cardinality is bounded; a
+// flood of unique tenant names cannot grow the queue without limit.
+func TestFairQueueMaxTenants(t *testing.T) {
+	f := newFairQueue(1, 8, 8)
+	f.acquire("seed", 1) // occupy the slot
+	for i := 0; i < maxTenants; i++ {
+		name := "t" + string(rune('A'+i%26)) + string(rune('a'+i/26))
+		if _, granted, rejected := f.acquire(name, 1); granted || rejected {
+			t.Fatalf("tenant %d (%s): granted=%v rejected=%v", i, name, granted, rejected)
+		}
+	}
+	if _, _, rejected := f.acquire("one-too-many", 1); !rejected {
+		t.Fatalf("tenant %d should be rejected (cardinality cap)", maxTenants+1)
+	}
+	// Existing tenants still enqueue fine.
+	if _, granted, rejected := f.acquire("tAa", 1); granted || rejected {
+		t.Fatal("existing tenant must not be affected by the cardinality cap")
+	}
+}
+
+// TestFairQueueAbandon: withdrawing a waiter removes it cleanly, and
+// abandoning after the grant reports the owned slot so the caller can
+// release it.
+func TestFairQueueAbandon(t *testing.T) {
+	f := newFairQueue(1, 8, 64)
+	f.acquire("x", 1)
+	w1, _, _ := f.acquire("a", 1)
+	w2, _, _ := f.acquire("a", 1)
+	if granted := f.abandon(w1); granted {
+		t.Fatal("abandon of a queued waiter reported granted")
+	}
+	if f.queueDepth() != 1 {
+		t.Fatalf("queueDepth = %d after abandon, want 1", f.queueDepth())
+	}
+	f.release() // grants w2
+	select {
+	case <-w2.ready:
+	default:
+		t.Fatal("w2 not granted after release")
+	}
+	if granted := f.abandon(w2); !granted {
+		t.Fatal("abandon after grant must report the owned slot")
+	}
+	f.release() // the caller's duty after a granted abandon
+	// Queue is empty; the slot must be immediately available again.
+	if _, granted, _ := f.acquire("z", 1); !granted {
+		t.Fatal("slot lost after abandon/release cycle")
+	}
+	if len(f.tenantDepths()) != 0 {
+		t.Fatalf("tenant states leaked: %v", f.tenantDepths())
+	}
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"slices"
+	"strings"
+	"testing"
+
+	"lsnuma"
+)
+
+// FuzzParseJobRequest drives the daemon's job-request decode path with
+// hostile bodies: whatever parses must satisfy the invariants every
+// handler (and the journal replay path) relies on — a valid workload, a
+// validated config, and a tenant name safe to use as a file-system and
+// metric label token.
+func FuzzParseJobRequest(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"workload":"mp3d","sweep":"block","tenant":"team-a"}`,
+		`{"workload":"oltp","scale":"small","config":{"Protocol":"LS"}}`,
+		`{"tenant":"../../etc/passwd"}`,
+		`{"tenant":"` + strings.Repeat("a", 64) + `"}`,
+		`{"tenant":""}`,
+		`{"config":{"Nodes":1073741824}}`,
+		`{"config":{"BlockSize":0}}`,
+		`{"workload":"mp3d","workload":"oltp"}`,
+		`{"point_timeout_ms":-5}`,
+		`{"config":{"Nodes":-3}}`,
+		`[1,2,3]`,
+		`"just a string"`,
+		"\x00\x01\x02",
+		`{"config":"not an object"}`,
+		`{"sweep":"voltage"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, base, scale, err := parseJobBytes(data)
+		if err != nil {
+			return // rejection is always acceptable; crashing is not
+		}
+		if req.Tenant != "" && !tenantPattern.MatchString(req.Tenant) {
+			t.Fatalf("accepted unsafe tenant %q", req.Tenant)
+		}
+		if !slices.Contains(lsnuma.Workloads(), req.Workload) {
+			t.Fatalf("accepted unknown workload %q", req.Workload)
+		}
+		if err := base.Validate(); err != nil {
+			t.Fatalf("accepted invalid config: %v", err)
+		}
+		if scale.String() == "" {
+			t.Fatalf("accepted request with unnamed scale %v", scale)
+		}
+		// A parsed sweep request must expand deterministically or fail
+		// cleanly — the same call the handler and journal replay make.
+		if req.Sweep != "" {
+			if _, _, _, err := sweepSpec(req, base, scale, 4096); err == nil {
+				if _, _, again, err2 := sweepSpec(req, base, scale, 4096); err2 != nil || len(again) == 0 {
+					t.Fatalf("sweep expansion not reproducible: %v", err2)
+				}
+			}
+		}
+	})
+}

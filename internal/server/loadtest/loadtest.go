@@ -98,6 +98,32 @@ func (c *Client) Sweep(ctx context.Context, body string) ([]server.StreamRecord,
 	return recs, status, err
 }
 
+// JobStatus fetches /api/v1/jobs/<id> — the journaled job's state and
+// completion cursor, which survive daemon restarts.
+func (c *Client) JobStatus(ctx context.Context, id string) (server.JobStatus, int, error) {
+	var st server.JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/jobs/"+id, nil)
+	if err != nil {
+		return st, 0, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return st, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck // best-effort detail
+		return st, resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, resp.StatusCode, err
+	}
+	return st, resp.StatusCode, nil
+}
+
 // Health is the /healthz reply.
 type Health struct {
 	Status   string `json:"status"`

@@ -5,9 +5,21 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// sortedKeys returns a map's keys in sorted order for deterministic
+// metric rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // histBoundsMs are the latency histogram bucket upper bounds in
 // milliseconds; a final +Inf bucket catches everything beyond. The
@@ -86,19 +98,52 @@ type Metrics struct {
 	Nacks   atomic.Uint64
 	Retries atomic.Uint64
 
+	// Durability counters (journal-backed daemons only).
+	Recovered      atomic.Uint64 // journaled jobs replayed at startup
+	JournalCorrupt atomic.Uint64 // corrupt journal records skipped at startup
+
 	// jobDurEWMAms is an exponentially-weighted moving average of job
-	// wall time, feeding the Retry-After estimate on 429s.
+	// wall time, feeding the Retry-After estimate on 429s. retrySeed is
+	// the assumed job duration before the first completion lands.
 	jobDurEWMAms atomic.Uint64
+	retrySeed    time.Duration
+
+	// tenantRejected counts per-tenant 429s. Cardinality is bounded by
+	// the fair queue's maxTenants plus an overflow bucket.
+	tenantMu       sync.Mutex
+	tenantRejected map[string]uint64
 
 	hist map[string]*histogram
 }
 
-func newMetrics() *Metrics {
-	m := &Metrics{hist: make(map[string]*histogram, len(endpoints))}
+func newMetrics(retrySeed time.Duration) *Metrics {
+	if retrySeed <= 0 {
+		retrySeed = time.Second
+	}
+	m := &Metrics{
+		retrySeed:      retrySeed,
+		tenantRejected: make(map[string]uint64),
+		hist:           make(map[string]*histogram, len(endpoints)),
+	}
 	for _, e := range endpoints {
 		m.hist[e] = &histogram{}
 	}
 	return m
+}
+
+// rejectTenant accounts one per-tenant 429. Tenants beyond the fair
+// queue's cardinality bound collapse into an "other" series so a flood
+// of unique names cannot grow the exposition without limit.
+func (m *Metrics) rejectTenant(tenant string) {
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	if _, ok := m.tenantRejected[tenant]; !ok && len(m.tenantRejected) >= maxTenants {
+		tenant = "other"
+	}
+	m.tenantRejected[tenant]++
 }
 
 // observe records one finished job on endpoint's histogram and folds
@@ -122,11 +167,14 @@ func (m *Metrics) observe(endpoint string, d time.Duration) {
 
 // retryAfterSeconds estimates how long a rejected client should back
 // off: the queue ahead of it, in units of average job time over the
-// available slots, floored at one second.
+// available slots, floored at one second. Before the first job
+// completes the EWMA is empty and the configured seed stands in — the
+// estimate still scales with queue depth on a cold daemon instead of
+// collapsing to the floor.
 func (m *Metrics) retryAfterSeconds(queued int64, slots int) int {
 	ewma := time.Duration(m.jobDurEWMAms.Load()) * time.Millisecond
 	if ewma == 0 {
-		ewma = time.Second
+		ewma = m.retrySeed
 	}
 	if slots < 1 {
 		slots = 1
@@ -167,6 +215,9 @@ type gauges struct {
 	cacheSkips uint64
 	cacheErrs  uint64
 	cacheDedup uint64
+	// tenantDepth is the per-tenant queue depth snapshot (nil when the
+	// fair queue has no waiters).
+	tenantDepth map[string]int
 }
 
 // write renders the metrics in the Prometheus text exposition format.
@@ -208,6 +259,26 @@ func (m *Metrics) write(w io.Writer, g gauges) {
 
 	counter("lsnumad_sim_nacks_total", "directory NACKs across all simulated points", m.Nacks.Load())
 	counter("lsnumad_sim_retries_total", "transaction retries across all simulated points", m.Retries.Load())
+
+	counter("lsnumad_jobs_recovered_total", "journaled jobs replayed after a restart", m.Recovered.Load())
+	counter("lsnumad_journal_corrupt_records_total", "corrupt journal records skipped at startup", m.JournalCorrupt.Load())
+
+	// Per-tenant series: HELP/TYPE once per family, then one sample per
+	// tenant in sorted order (deterministic output for tests and diffs).
+	fmt.Fprintf(w, "# HELP lsnumad_tenant_queue_depth queued jobs by tenant\n# TYPE lsnumad_tenant_queue_depth gauge\n")
+	for _, tenant := range sortedKeys(g.tenantDepth) {
+		fmt.Fprintf(w, "lsnumad_tenant_queue_depth{tenant=%q} %d\n", tenant, g.tenantDepth[tenant])
+	}
+	m.tenantMu.Lock()
+	rejected := make(map[string]uint64, len(m.tenantRejected))
+	for k, v := range m.tenantRejected {
+		rejected[k] = v
+	}
+	m.tenantMu.Unlock()
+	fmt.Fprintf(w, "# HELP lsnumad_tenant_rejected_total jobs rejected with 429 by tenant\n# TYPE lsnumad_tenant_rejected_total counter\n")
+	for _, tenant := range sortedKeys(rejected) {
+		fmt.Fprintf(w, "lsnumad_tenant_rejected_total{tenant=%q} %d\n", tenant, rejected[tenant])
+	}
 
 	fmt.Fprintf(w, "# HELP lsnumad_request_duration_ms job latency by endpoint\n# TYPE lsnumad_request_duration_ms histogram\n")
 	for _, e := range endpoints {

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryAfterColdStart: before any job completes the EWMA is empty;
+// the estimate must still scale with queue depth using the configured
+// seed instead of collapsing to the 1-second floor.
+func TestRetryAfterColdStart(t *testing.T) {
+	m := newMetrics(2 * time.Second)
+	// queued ≫ slots on a cold daemon: 16 queued jobs over 2 slots at
+	// the 2 s seed is (16+1)*2/2 = 17 s of estimated backlog.
+	if got := m.retryAfterSeconds(16, 2); got != 17 {
+		t.Fatalf("cold retryAfterSeconds(16, 2) = %d, want 17 (seed-scaled)", got)
+	}
+	if got := m.retryAfterSeconds(0, 2); got != 1 {
+		t.Fatalf("cold retryAfterSeconds(0, 2) = %d, want 1", got)
+	}
+	// The default seed is one second.
+	d := newMetrics(0)
+	if got := d.retryAfterSeconds(16, 2); got != 9 {
+		t.Fatalf("default-seed retryAfterSeconds(16, 2) = %d, want 9", got)
+	}
+	// Once a job completes, the observed EWMA takes over from the seed.
+	m.observe("sweep", 8*time.Second)
+	if got := m.retryAfterSeconds(16, 2); got != 68 {
+		t.Fatalf("warm retryAfterSeconds(16, 2) = %d, want 68 (EWMA-scaled)", got)
+	}
+}
+
+// TestTenantRejectCardinality: per-tenant 429 accounting collapses
+// tenants beyond the fair queue's bound into "other" instead of growing
+// the metric space without limit.
+func TestTenantRejectCardinality(t *testing.T) {
+	m := newMetrics(0)
+	for i := 0; i < maxTenants+10; i++ {
+		m.rejectTenant(string(rune('A'+i%26)) + string(rune('a'+i/26)))
+	}
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	if len(m.tenantRejected) > maxTenants+1 {
+		t.Fatalf("tenantRejected grew to %d series, want at most %d", len(m.tenantRejected), maxTenants+1)
+	}
+	if m.tenantRejected["other"] != 10 {
+		t.Fatalf(`tenantRejected["other"] = %d, want 10 overflow rejections`, m.tenantRejected["other"])
+	}
+}

@@ -15,10 +15,14 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"regexp"
 	"runtime/debug"
 	"slices"
 	"strconv"
@@ -28,6 +32,7 @@ import (
 
 	"lsnuma"
 	"lsnuma/internal/report"
+	"lsnuma/internal/server/journal"
 	"lsnuma/internal/version"
 	"lsnuma/internal/workload"
 )
@@ -44,8 +49,30 @@ type Config struct {
 	MaxJobs int
 	// QueueDepth bounds the number of jobs allowed to wait for an
 	// execution slot (default 8). Arrivals beyond it are NACKed with
-	// 429 and a Retry-After estimate.
+	// 429 and a Retry-After estimate. With fair queueing this is the
+	// default bucket's cap, so anonymous deployments keep exactly the
+	// old single-FIFO behavior; see TenantQueueDepth for named tenants.
 	QueueDepth int
+	// TenantQueueDepth bounds each named tenant's queue (default
+	// QueueDepth). Arrivals beyond a tenant's cap are NACKed with 429
+	// without affecting other tenants.
+	TenantQueueDepth int
+	// Quantum is the deficit-round-robin quantum in points (default 8):
+	// how much job cost each tenant with queued work earns per
+	// scheduling round. One sweep cell's worth (len(Protocols())) or
+	// more keeps small jobs flowing past a tenant with big ones queued.
+	Quantum int
+	// RetrySeed seeds the Retry-After estimate before the first job
+	// completes (default 1s). A deployment running paper-scale sweeps
+	// should raise it so cold-start 429s do not invite thundering
+	// re-arrivals.
+	RetrySeed time.Duration
+	// Journal, if non-nil, write-ahead-logs every accepted job and
+	// enables /api/v1/jobs plus crash recovery (Recover). Journaled
+	// jobs run detached from their client connection: a disconnect
+	// stops the response stream but not the job, whose results stay
+	// durable in the cache and whose state lands in the journal.
+	Journal *journal.Journal
 	// Parallelism is each job's RunAll worker bound (default 0: all
 	// cores).
 	Parallelism int
@@ -62,6 +89,12 @@ type Config struct {
 	// Version is reported by /version and /healthz (default the build's
 	// stamped version).
 	Version string
+	// RunAll overrides the simulation engine (default lsnuma.RunAll) —
+	// a seam for load tests that need deterministic job durations.
+	RunAll func(ctx context.Context, points []lsnuma.Point, opt lsnuma.RunOptions) ([]lsnuma.PointResult, error)
+	// Logf receives operational warnings (journal corruption, replay
+	// failures). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Server is the daemon core: admission control, job execution, metrics
@@ -72,10 +105,11 @@ type Server struct {
 	cache   *lsnuma.ResultCache
 	metrics *Metrics
 	mux     *http.ServeMux
+	journal *journal.Journal
+	logf    func(format string, args ...any)
 
-	slots    chan struct{} // execution slots, cap MaxJobs
-	queued   atomic.Int64  // jobs waiting for a slot
-	inflight atomic.Int64  // jobs holding a slot
+	fq       *fairQueue   // execution slots + per-tenant admission queues
+	inflight atomic.Int64 // jobs holding a slot
 
 	draining  atomic.Bool
 	drainCh   chan struct{} // closed when draining starts
@@ -96,6 +130,12 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 8
 	}
+	if cfg.TenantQueueDepth <= 0 {
+		cfg.TenantQueueDepth = cfg.QueueDepth
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 8
+	}
 	if cfg.MaxPointsPerJob <= 0 {
 		cfg.MaxPointsPerJob = 4096
 	}
@@ -105,21 +145,34 @@ func New(cfg Config) *Server {
 	if cfg.Version == "" {
 		cfg.Version = version.Version
 	}
+	if cfg.RunAll == nil {
+		cfg.RunAll = lsnuma.RunAll
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
 		cache:    cfg.Cache,
-		metrics:  newMetrics(),
+		metrics:  newMetrics(cfg.RetrySeed),
 		mux:      http.NewServeMux(),
-		slots:    make(chan struct{}, cfg.MaxJobs),
+		journal:  cfg.Journal,
+		logf:     cfg.Logf,
+		fq:       newFairQueue(cfg.MaxJobs, cfg.Quantum, cfg.TenantQueueDepth),
 		drainCh:  make(chan struct{}),
 		jobsCtx:  ctx,
 		stopJobs: cancel,
-		runAll:   lsnuma.RunAll,
+		runAll:   cfg.RunAll,
+	}
+	if s.journal != nil {
+		s.metrics.JournalCorrupt.Store(s.journal.CorruptRecords())
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /version", s.handleVersion)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("POST /api/v1/point", s.isolate(s.handlePoint))
 	s.mux.HandleFunc("POST /api/v1/sweep", s.isolate(s.handleSweep))
 	s.mux.HandleFunc("POST /api/v1/compare", s.isolate(s.handleCompare))
@@ -136,7 +189,7 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // QueueDepth returns the current number of jobs waiting for a slot.
-func (s *Server) QueueDepth() int64 { return s.queued.Load() }
+func (s *Server) QueueDepth() int64 { return int64(s.fq.queueDepth()) }
 
 // Inflight returns the current number of jobs holding a slot.
 func (s *Server) Inflight() int64 { return s.inflight.Load() }
@@ -154,7 +207,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	tick := time.NewTicker(2 * time.Millisecond)
 	defer tick.Stop()
 	for {
-		if s.queued.Load() == 0 && s.inflight.Load() == 0 {
+		if s.fq.queueDepth() == 0 && s.inflight.Load() == 0 {
 			return nil
 		}
 		select {
@@ -178,62 +231,109 @@ func (s *Server) Close() {
 // ---------------------------------------------------------------------
 // Admission control.
 
-// admit implements the NACK discipline in front of the execution pool.
-// It returns a release function and true when the job may run; on false
-// the response has already been written (429 queue-full with
-// Retry-After, 503 draining) or the client is gone.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+// newJobID returns a fresh random job identifier (file-name safe,
+// collision-free across restarts of the same state dir).
+func newJobID() string {
+	var b [8]byte
+	rand.Read(b[:]) //nolint:errcheck // crypto/rand does not fail on supported platforms
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// admit implements the NACK discipline in front of the execution pool:
+// deficit-round-robin fair queueing across tenants, write-ahead
+// journaling of every acceptance, and an explicit 429/503 NACK when the
+// tenant's queue is full or the daemon is draining. It returns the
+// journaled job ID (empty without a journal), a release function and
+// true when the job may run; on false the response has already been
+// written or the client is gone.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string, req JobRequest, cost int) (jobID string, release func(), ok bool) {
 	if s.draining.Load() {
 		s.rejectDraining(w)
-		return nil, false
+		return "", nil, false
 	}
-	got := false
-	select {
-	case s.slots <- struct{}{}:
-		got = true
-	default:
+	wt, granted, rejected := s.fq.acquire(req.Tenant, cost)
+	if rejected {
+		q := int64(s.fq.queueDepth())
+		s.metrics.Rejected.Add(1)
+		s.metrics.rejectTenant(req.Tenant)
+		w.Header().Set("Retry-After", strconv.Itoa(s.metrics.retryAfterSeconds(q, s.cfg.MaxJobs)))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": "job queue is full; retry after the indicated backoff",
+		})
+		return "", nil, false
 	}
-	if !got {
-		if q := s.queued.Add(1); q > int64(s.cfg.QueueDepth) {
-			s.queued.Add(-1)
-			s.metrics.Rejected.Add(1)
-			w.Header().Set("Retry-After", strconv.Itoa(s.metrics.retryAfterSeconds(q-1, s.cfg.MaxJobs)))
-			writeJSON(w, http.StatusTooManyRequests, map[string]string{
-				"error": "job queue is full; retry after the indicated backoff",
+	// Journal the acceptance before the job may run: from here on a
+	// crash replays it. Rejections above never reach the journal.
+	if s.journal != nil {
+		jobID = newJobID()
+		body, err := json.Marshal(req)
+		if err == nil {
+			err = s.journal.Append(journal.Record{
+				ID: jobID, Endpoint: endpoint, Tenant: req.Tenant,
+				Request: body, Points: cost,
 			})
-			return nil, false
 		}
+		if err != nil {
+			if wt == nil || s.fq.abandon(wt) {
+				s.fq.release()
+			}
+			writeJSON(w, http.StatusInternalServerError, map[string]string{
+				"error": "cannot journal job: " + err.Error(),
+			})
+			return "", nil, false
+		}
+	}
+	if !granted {
 		s.metrics.QueuedTotal.Add(1)
+		// Journaled jobs wait detached from the client connection: the
+		// journal owns them now, and a disconnect must not dequeue work
+		// the daemon has durably promised to run.
+		waitDone := r.Context().Done()
+		if s.journal != nil {
+			waitDone = s.jobsCtx.Done()
+		}
 		select {
-		case s.slots <- struct{}{}:
-			s.queued.Add(-1)
-		case <-r.Context().Done():
-			s.queued.Add(-1)
+		case <-wt.ready:
+		case <-waitDone:
+			if s.fq.abandon(wt) {
+				s.fq.release()
+			}
 			s.metrics.AbandonedQueue.Add(1)
-			return nil, false
+			return "", nil, false
 		case <-s.drainCh:
-			s.queued.Add(-1)
+			if s.fq.abandon(wt) {
+				s.fq.release()
+			}
+			// The journal record (if any) stays queued — the next
+			// startup replays it.
 			s.rejectDraining(w)
-			return nil, false
+			return "", nil, false
 		}
 	}
 	// Publish the in-flight claim before re-checking the drain flag:
 	// if Drain's zero-poll missed this increment it must have stored
 	// the flag first, so we observe it here and bounce — no job can
-	// slip past a completed drain.
+	// slip past a completed drain. The journal record is still queued
+	// here, so a bounced job is replayed after restart, never stranded
+	// as running.
 	s.inflight.Add(1)
 	if s.draining.Load() {
 		s.inflight.Add(-1)
-		<-s.slots
+		s.fq.release()
 		s.rejectDraining(w)
-		return nil, false
+		return "", nil, false
 	}
 	s.metrics.Admitted.Add(1)
+	if s.journal != nil {
+		if err := s.journal.SetState(jobID, journal.StateRunning, ""); err != nil {
+			s.logf("journal: %v", err)
+		}
+	}
 	var once sync.Once
-	return func() {
+	return jobID, func() {
 		once.Do(func() {
 			s.inflight.Add(-1)
-			<-s.slots
+			s.fq.release()
 		})
 	}, true
 }
@@ -246,13 +346,66 @@ func (s *Server) rejectDraining(w http.ResponseWriter) {
 	})
 }
 
-// jobContext derives a job's context: cancelled when the client goes
-// away, when the request handler returns, or when the server aborts
-// in-flight work (drain deadline, Close).
+// jobContext derives a job's context. Without a journal it is
+// cancelled when the client goes away, when the request handler
+// returns, or when the server aborts in-flight work (drain deadline,
+// Close). A journaled job is NOT a child of the client connection: the
+// daemon promised the work durably, so only server shutdown cancels it
+// — the client may reconnect and poll /api/v1/jobs/<id>.
 func (s *Server) jobContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.journal != nil {
+		return context.WithCancel(s.jobsCtx)
+	}
 	ctx, cancel := context.WithCancel(r.Context())
 	stop := context.AfterFunc(s.jobsCtx, cancel)
 	return ctx, func() { stop(); cancel() }
+}
+
+// journalFinish records a finished job's terminal state. A job cut
+// short by server shutdown keeps its running state so the next startup
+// replays it; real point failures are terminal (they are deterministic
+// — a replay would only fail again).
+func (s *Server) journalFinish(jobID string, failed, total int) {
+	if s.journal == nil || jobID == "" {
+		return
+	}
+	if s.jobsCtx.Err() != nil {
+		return // aborted shutdown: leave running for the restart replay
+	}
+	var err error
+	if failed == 0 {
+		err = s.journal.SetState(jobID, journal.StateDone, "")
+	} else {
+		err = s.journal.SetState(jobID, journal.StateFailed, fmt.Sprintf("%d of %d points failed", failed, total))
+	}
+	if err != nil {
+		s.logf("journal: %v", err)
+	}
+}
+
+// cursorHook wraps a job's OnPoint callback so every successful
+// completion also advances the journal's per-job cursor — the
+// percent-complete that /api/v1/jobs/<id> reports across restarts.
+// Failed points (including ones aborted by a crash-in-progress) do not
+// count: the cursor must never run ahead of what the result cache has
+// durably persisted, and the cache is only written on success — before
+// OnPoint fires.
+func (s *Server) cursorHook(jobID string, inner func(int, lsnuma.PointResult)) func(int, lsnuma.PointResult) {
+	if s.journal == nil || jobID == "" {
+		return inner
+	}
+	var done atomic.Int64
+	return func(i int, pr lsnuma.PointResult) {
+		if inner != nil {
+			inner(i, pr)
+		}
+		if pr.Err != nil {
+			return
+		}
+		if err := s.journal.SetProgress(jobID, int(done.Add(1))); err != nil {
+			s.logf("journal: %v", err)
+		}
+	}
 }
 
 // isolate wraps a job handler so a panic becomes a structured 500 (or a
@@ -280,9 +433,16 @@ func (s *Server) isolate(h http.HandlerFunc) http.HandlerFunc {
 // ---------------------------------------------------------------------
 // Requests.
 
+// tenantPattern bounds tenant names: short, file-name and label safe.
+var tenantPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,32}$`)
+
 // JobRequest is the JSON body of the point, sweep and compare
 // endpoints.
 type JobRequest struct {
+	// Tenant names the fair-queueing bucket this job is admitted under
+	// ([A-Za-z0-9._-]{1,32}). Empty selects the shared default bucket,
+	// preserving pre-tenant behavior for anonymous clients.
+	Tenant string `json:"tenant,omitempty"`
 	// Workload names the program to simulate (default "mp3d").
 	Workload string `json:"workload,omitempty"`
 	// Scale is "test" (default), "small" or "paper".
@@ -303,11 +463,24 @@ type JobRequest struct {
 // parseJob decodes and validates a job request, returning the resolved
 // base config and scale.
 func parseJob(r *http.Request) (JobRequest, lsnuma.Config, lsnuma.Scale, error) {
+	return parseJobReader(http.MaxBytesReader(nil, r.Body, maxRequestBytes))
+}
+
+// parseJobBytes is parseJob over a raw body — the replay path (journal
+// records hold the canonical request JSON) and the fuzz target.
+func parseJobBytes(body []byte) (JobRequest, lsnuma.Config, lsnuma.Scale, error) {
+	return parseJobReader(bytes.NewReader(body))
+}
+
+func parseJobReader(body io.Reader) (JobRequest, lsnuma.Config, lsnuma.Scale, error) {
 	var req JobRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxRequestBytes))
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return req, lsnuma.Config{}, 0, fmt.Errorf("bad request body: %w", err)
+	}
+	if req.Tenant != "" && !tenantPattern.MatchString(req.Tenant) {
+		return req, lsnuma.Config{}, 0, fmt.Errorf("bad tenant %q (want 1-32 chars of [A-Za-z0-9._-])", req.Tenant)
 	}
 	if req.Workload == "" {
 		req.Workload = "mp3d"
@@ -395,6 +568,8 @@ func reproInfo(b *lsnuma.ReproBundle) *ReproInfo {
 
 // PointResponse is the point endpoint's JSON reply.
 type PointResponse struct {
+	// JobID is the journaled job identifier (empty without -state-dir).
+	JobID     string         `json:"job_id,omitempty"`
 	Label     string         `json:"label"`
 	Result    *lsnuma.Result `json:"result,omitempty"`
 	Cached    bool           `json:"cached,omitempty"`
@@ -411,6 +586,9 @@ type StreamRecord struct {
 	Type     string `json:"type"`
 	Endpoint string `json:"endpoint,omitempty"`
 	Version  string `json:"version,omitempty"`
+	// ID is the journaled job identifier in the header record (empty
+	// without -state-dir); poll /api/v1/jobs/<id> with it.
+	ID string `json:"id,omitempty"`
 	// Points and Cells size the job in the header record.
 	Points int `json:"points,omitempty"`
 	Cells  int `json:"cells,omitempty"`
@@ -481,7 +659,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, code, map[string]any{
 		"status":   status,
-		"queue":    s.queued.Load(),
+		"queue":    s.fq.queueDepth(),
 		"inflight": s.inflight.Load(),
 		"version":  s.cfg.Version,
 	})
@@ -491,14 +669,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.cache.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.write(w, gauges{
-		queueDepth: s.queued.Load(),
-		inflight:   s.inflight.Load(),
-		draining:   s.draining.Load(),
-		cacheHits:  st.Hits,
-		cacheMiss:  st.Misses,
-		cacheSkips: st.Skips,
-		cacheErrs:  st.Errors,
-		cacheDedup: st.Dedups,
+		queueDepth:  int64(s.fq.queueDepth()),
+		inflight:    s.inflight.Load(),
+		draining:    s.draining.Load(),
+		cacheHits:   st.Hits,
+		cacheMiss:   st.Misses,
+		cacheSkips:  st.Skips,
+		cacheErrs:   st.Errors,
+		cacheDedup:  st.Dedups,
+		tenantDepth: s.fq.tenantDepths(),
 	})
 }
 
@@ -515,16 +694,16 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 // repro bundle on a failed simulation, 504 on a point deadline.
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	release, ok := s.admit(w, r)
-	if !ok {
-		return
-	}
-	defer release()
 	req, base, scale, err := parseJob(r)
 	if err != nil {
 		badRequest(w, err)
 		return
 	}
+	jobID, release, ok := s.admit(w, r, "point", req, 1)
+	if !ok {
+		return
+	}
+	defer release()
 	ctx, cancel := s.jobContext(r)
 	defer cancel()
 
@@ -534,11 +713,13 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		Workload: req.Workload,
 		Scale:    scale,
 	}
-	results, _ := s.runAll(ctx, []lsnuma.Point{pt}, s.runOpts(req, nil))
+	results, _ := s.runAll(ctx, []lsnuma.Point{pt}, s.runOpts(req, s.cursorHook(jobID, nil)))
 	pr := results[0]
-	s.finishJob("point", start, results)
+	failed := s.finishJob("point", start, results)
+	s.journalFinish(jobID, failed, len(results))
 
 	resp := PointResponse{
+		JobID:     jobID,
 		Label:     pr.Label,
 		Result:    pr.Result,
 		Cached:    pr.Cached,
@@ -570,40 +751,27 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 // byte-identical to the block lssweep prints for the same cell.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	release, ok := s.admit(w, r)
-	if !ok {
-		return
-	}
-	defer release()
 	req, base, scale, err := parseJob(r)
 	if err != nil {
 		badRequest(w, err)
 		return
 	}
-	if req.Sweep == "" {
-		badRequest(w, errors.New(`missing "sweep" (want block, l1, l2, nodes)`))
-		return
-	}
-	param, err := lsnuma.ParseSweepParam(req.Sweep)
+	param, grid, points, err := sweepSpec(req, base, scale, s.cfg.MaxPointsPerJob)
 	if err != nil {
 		badRequest(w, err)
 		return
 	}
-	grid, points, err := lsnuma.SweepPoints(param, base, req.Workload, scale)
-	if err != nil {
-		badRequest(w, err)
+	jobID, release, ok := s.admit(w, r, "sweep", req, len(points))
+	if !ok {
 		return
 	}
-	if len(points) > s.cfg.MaxPointsPerJob {
-		badRequest(w, fmt.Errorf("job expands to %d points, over the %d limit", len(points), s.cfg.MaxPointsPerJob))
-		return
-	}
+	defer release()
 	ctx, cancel := s.jobContext(r)
 	defer cancel()
 
 	out := newNDJSON(w)
 	out.write(StreamRecord{
-		Type: "job", Endpoint: "sweep", Version: s.cfg.Version,
+		Type: "job", Endpoint: "sweep", Version: s.cfg.Version, ID: jobID,
 		Label: string(param), Points: len(points), Cells: len(grid),
 	})
 
@@ -611,14 +779,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var (
 		mu      sync.Mutex
 		results = make([]lsnuma.PointResult, len(points))
-		remain  = make([]int, len(grid))
-		next    int
+		prog    = lsnuma.NewSweepProgress(len(grid))
 	)
-	for i := range remain {
-		remain[i] = nproto
-	}
 	// emit streams cell ci from results; callers hold mu and only pass
-	// each index once, in grid order.
+	// each index once, in grid order (SweepProgress guarantees both).
 	emit := func(ci int) {
 		cell := lsnuma.CellResult(grid[ci], results[ci*nproto:(ci+1)*nproto])
 		text, _ := report.SweepCell(cell)
@@ -635,24 +799,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		mu.Lock()
 		defer mu.Unlock()
 		results[i] = pr
-		remain[i/nproto]--
-		for next < len(grid) && remain[next] == 0 {
-			emit(next)
-			next++
+		for _, ci := range prog.PointDone(i) {
+			emit(ci)
 		}
 	}
-	final, runErr := s.runAll(ctx, points, s.runOpts(req, onPoint))
+	final, runErr := s.runAll(ctx, points, s.runOpts(req, s.cursorHook(jobID, onPoint)))
 
 	// Cancellation-skipped points never reach onPoint; flush the
 	// remaining cells (annotated holes) from the final slice.
 	mu.Lock()
 	copy(results, final)
-	for ; next < len(grid); next++ {
-		emit(next)
+	for _, ci := range prog.Flush() {
+		emit(ci)
 	}
 	mu.Unlock()
 
 	failed := s.finishJob("sweep", start, final)
+	s.journalFinish(jobID, failed, len(final))
 	done := StreamRecord{Type: "done", Failed: failed, ElapsedMs: time.Since(start).Milliseconds()}
 	if runErr != nil && ctx.Err() != nil {
 		done.Error = fmt.Sprintf("interrupted (%v); cells above are partial with annotated holes", ctx.Err())
@@ -660,24 +823,36 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	out.write(done)
 }
 
+// sweepSpec expands and validates a sweep request into its grid and
+// flat point list — shared by the handler and the journal replay path.
+func sweepSpec(req JobRequest, base lsnuma.Config, scale lsnuma.Scale, maxPoints int) (lsnuma.SweepParam, []lsnuma.SweepPoint, []lsnuma.Point, error) {
+	if req.Sweep == "" {
+		return "", nil, nil, errors.New(`missing "sweep" (want block, l1, l2, nodes)`)
+	}
+	param, err := lsnuma.ParseSweepParam(req.Sweep)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	grid, points, err := lsnuma.SweepPoints(param, base, req.Workload, scale)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	if len(points) > maxPoints {
+		return "", nil, nil, fmt.Errorf("job expands to %d points, over the %d limit", len(points), maxPoints)
+	}
+	return param, grid, points, nil
+}
+
 // handleCompare runs one configuration under every protocol and streams
 // NDJSON: a "job" header, one "point" record per protocol in
 // Protocols() order as each completes, and a "done" trailer.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	release, ok := s.admit(w, r)
-	if !ok {
-		return
-	}
-	defer release()
 	req, base, scale, err := parseJob(r)
 	if err != nil {
 		badRequest(w, err)
 		return
 	}
-	ctx, cancel := s.jobContext(r)
-	defer cancel()
-
 	protos := lsnuma.Protocols()
 	points := make([]lsnuma.Point, len(protos))
 	for i, p := range protos {
@@ -690,10 +865,17 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			Scale:    scale,
 		}
 	}
+	jobID, release, ok := s.admit(w, r, "compare", req, len(points))
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.jobContext(r)
+	defer cancel()
 
 	out := newNDJSON(w)
 	out.write(StreamRecord{
-		Type: "job", Endpoint: "compare", Version: s.cfg.Version,
+		Type: "job", Endpoint: "compare", Version: s.cfg.Version, ID: jobID,
 		Label: req.Workload, Points: len(points),
 	})
 
@@ -725,7 +907,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			next++
 		}
 	}
-	final, runErr := s.runAll(ctx, points, s.runOpts(req, onPoint))
+	final, runErr := s.runAll(ctx, points, s.runOpts(req, s.cursorHook(jobID, onPoint)))
 
 	mu.Lock()
 	copy(results, final)
@@ -735,6 +917,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	mu.Unlock()
 
 	failed := s.finishJob("compare", start, final)
+	s.journalFinish(jobID, failed, len(final))
 	trailer := StreamRecord{Type: "done", Failed: failed, ElapsedMs: time.Since(start).Milliseconds()}
 	if runErr != nil && ctx.Err() != nil {
 		trailer.Error = fmt.Sprintf("interrupted (%v); points above are partial", ctx.Err())
@@ -762,4 +945,178 @@ func (s *Server) finishJob(endpoint string, start time.Time, results []lsnuma.Po
 	}
 	s.metrics.observe(endpoint, time.Since(start))
 	return failed
+}
+
+// ---------------------------------------------------------------------
+// Job status and crash recovery (journal-backed daemons).
+
+// JobStatus is the /api/v1/jobs JSON rendering of a journal record.
+type JobStatus struct {
+	ID        string `json:"id"`
+	Endpoint  string `json:"endpoint"`
+	Tenant    string `json:"tenant,omitempty"`
+	State     string `json:"state"`
+	Points    int    `json:"points,omitempty"`
+	Completed int    `json:"completed,omitempty"`
+	// Percent is the completion cursor as a percentage; it survives
+	// restarts along with the record.
+	Percent   float64   `json:"percent"`
+	Attempts  int       `json:"attempts,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Updated   time.Time `json:"updated"`
+	Error     string    `json:"error,omitempty"`
+}
+
+func jobStatus(rec journal.Record) JobStatus {
+	st := JobStatus{
+		ID: rec.ID, Endpoint: rec.Endpoint, Tenant: rec.Tenant,
+		State: string(rec.State), Points: rec.Points, Completed: rec.Completed,
+		Attempts: rec.Attempts, Submitted: rec.Submitted, Updated: rec.Updated,
+		Error: rec.Error,
+	}
+	if rec.State == journal.StateDone {
+		st.Percent = 100
+	} else if rec.Points > 0 {
+		st.Percent = 100 * float64(rec.Completed) / float64(rec.Points)
+	}
+	return st
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "job journal disabled; start the daemon with -state-dir",
+		})
+		return
+	}
+	rec, ok := s.journal.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, jobStatus(rec))
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "job journal disabled; start the daemon with -state-dir",
+		})
+		return
+	}
+	recs := s.journal.List()
+	out := make([]JobStatus, len(recs))
+	for i, rec := range recs {
+		out[i] = jobStatus(rec)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// Recover replays the journal's incomplete jobs (queued or running at
+// the last shutdown) through the regular fair admission path, each in
+// its own goroutine, and returns how many it scheduled. Completed
+// points are re-read from the result cache, so a replay recomputes only
+// what was genuinely lost in flight. Call once after New, before
+// serving traffic (replays and fresh arrivals then contend fairly).
+func (s *Server) Recover() int {
+	if s.journal == nil {
+		return 0
+	}
+	recs := s.journal.Incomplete()
+	for _, rec := range recs {
+		go s.replay(rec)
+	}
+	return len(recs)
+}
+
+// replay re-runs one journaled job from its canonical request JSON. An
+// unparseable record is marked failed (it can never run); a full queue
+// or a drain leaves the record untouched for the next restart.
+func (s *Server) replay(rec journal.Record) {
+	start := time.Now()
+	req, base, scale, err := parseJobBytes(rec.Request)
+	if err != nil {
+		s.logf("replay %s: unreplayable request: %v", rec.ID, err)
+		s.journal.SetState(rec.ID, journal.StateFailed, "unreplayable: "+err.Error()) //nolint:errcheck
+		return
+	}
+	var points []lsnuma.Point
+	switch rec.Endpoint {
+	case "point":
+		points = []lsnuma.Point{{
+			Label:    fmt.Sprintf("%s/%s", req.Workload, base.ProtocolName()),
+			Config:   base,
+			Workload: req.Workload,
+			Scale:    scale,
+		}}
+	case "sweep":
+		_, _, points, err = sweepSpec(req, base, scale, s.cfg.MaxPointsPerJob)
+	case "compare":
+		for _, p := range lsnuma.Protocols() {
+			cfg := base
+			cfg.Protocol = p
+			points = append(points, lsnuma.Point{
+				Label:    fmt.Sprintf("%s/%s", req.Workload, p),
+				Config:   cfg,
+				Workload: req.Workload,
+				Scale:    scale,
+			})
+		}
+	default:
+		err = fmt.Errorf("unknown endpoint %q", rec.Endpoint)
+	}
+	if err != nil {
+		s.logf("replay %s: unreplayable: %v", rec.ID, err)
+		s.journal.SetState(rec.ID, journal.StateFailed, "unreplayable: "+err.Error()) //nolint:errcheck
+		return
+	}
+
+	wt, granted, rejected := s.fq.acquire(req.Tenant, len(points))
+	if rejected {
+		// Queue pressure at startup: leave the record for the next
+		// restart rather than dropping it.
+		s.logf("replay %s: queue full; left %s for the next restart", rec.ID, rec.State)
+		return
+	}
+	if !granted {
+		s.metrics.QueuedTotal.Add(1)
+		select {
+		case <-wt.ready:
+		case <-s.jobsCtx.Done():
+			if s.fq.abandon(wt) {
+				s.fq.release()
+			}
+			return
+		case <-s.drainCh:
+			if s.fq.abandon(wt) {
+				s.fq.release()
+			}
+			return
+		}
+	}
+	s.inflight.Add(1)
+	if s.draining.Load() {
+		s.inflight.Add(-1)
+		s.fq.release()
+		return // record untouched; the next restart replays it
+	}
+	s.metrics.Admitted.Add(1)
+	s.metrics.Recovered.Add(1)
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			s.inflight.Add(-1)
+			s.fq.release()
+		})
+	}
+	defer release()
+	if err := s.journal.SetState(rec.ID, journal.StateRunning, ""); err != nil {
+		s.logf("journal: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(s.jobsCtx)
+	defer cancel()
+	results, _ := s.runAll(ctx, points, s.runOpts(req, s.cursorHook(rec.ID, nil)))
+	failed := s.finishJob(rec.Endpoint, start, results)
+	s.journalFinish(rec.ID, failed, len(results))
 }

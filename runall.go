@@ -38,6 +38,15 @@ type PointResult struct {
 	Deduped bool
 }
 
+// Fresh reports that the point's Result came from a fresh simulation in
+// this process — not the persistent cache, not a shared in-flight
+// computation, and not a failure. Durability assertions (the lsnumad
+// crash-restart harness) use it to prove that resumed sweeps recompute
+// nothing that was already durable.
+func (pr PointResult) Fresh() bool {
+	return pr.Err == nil && pr.Result != nil && !pr.Cached && !pr.Deduped
+}
+
 // OpTrace is one memory operation from a failed run's crash-diagnostics
 // ring buffer (Config.RecordOps).
 type OpTrace struct {
@@ -108,7 +117,9 @@ type RunOptions struct {
 	Cache *ResultCache
 	// OnPoint, if non-nil, is invoked as each point completes (success,
 	// cache hit or failure), before RunAll returns — the streaming hook
-	// behind the lsnumad daemon's NDJSON responses. Calls come from the
+	// behind the lsnumad daemon's NDJSON responses and the completion
+	// cursor its job journal persists (see SweepProgress for the
+	// grid-order bookkeeping). Calls come from the
 	// worker goroutines in completion order, possibly concurrently: the
 	// callback must be safe for concurrent use and should return
 	// quickly. Points skipped by context cancellation do not invoke it;

@@ -1,0 +1,104 @@
+package lsnuma
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestSweepProgressInOrder: points completing in order hand cells back
+// one at a time, in grid order, exactly once.
+func TestSweepProgressInOrder(t *testing.T) {
+	nproto := len(Protocols())
+	const cells = 4
+	p := NewSweepProgress(cells)
+	var got []int
+	for i := 0; i < cells*nproto; i++ {
+		got = append(got, p.PointDone(i)...)
+	}
+	if len(got) != cells {
+		t.Fatalf("handed out %d cells, want %d", len(got), cells)
+	}
+	for i, ci := range got {
+		if ci != i {
+			t.Fatalf("cell order %v, want ascending from 0", got)
+		}
+	}
+	if p.Cursor() != cells || p.PointsDone() != cells*nproto {
+		t.Fatalf("cursor=%d pointsDone=%d, want %d/%d", p.Cursor(), p.PointsDone(), cells, cells*nproto)
+	}
+	if rest := p.Flush(); len(rest) != 0 {
+		t.Fatalf("Flush after completion = %v, want empty", rest)
+	}
+}
+
+// TestSweepProgressOutOfOrder: any completion order still yields each
+// cell exactly once, in grid order, and Flush returns the unfinished
+// tail of a cancelled run.
+func TestSweepProgressOutOfOrder(t *testing.T) {
+	nproto := len(Protocols())
+	const cells = 7
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(cells * nproto)
+		stop := len(perm)
+		if trial%2 == 1 { // half the trials: simulate a cancelled run
+			stop = rng.Intn(len(perm))
+		}
+		p := NewSweepProgress(cells)
+		var got []int
+		for _, i := range perm[:stop] {
+			got = append(got, p.PointDone(i)...)
+		}
+		if p.PointsDone() != stop {
+			t.Fatalf("trial %d: pointsDone=%d, want %d", trial, p.PointsDone(), stop)
+		}
+		got = append(got, p.Flush()...)
+		if len(got) != cells {
+			t.Fatalf("trial %d: handed out %d cells, want %d", trial, len(got), cells)
+		}
+		for i, ci := range got {
+			if ci != i {
+				t.Fatalf("trial %d: cell order %v, want ascending", trial, got)
+			}
+		}
+	}
+}
+
+// TestSweepProgressDuplicateAndBogusPoints: double-completions and
+// out-of-range indexes are ignored instead of corrupting the cursor.
+func TestSweepProgressDuplicateAndBogusPoints(t *testing.T) {
+	nproto := len(Protocols())
+	p := NewSweepProgress(2)
+	for i := 0; i < nproto; i++ {
+		p.PointDone(0) // same point over and over
+	}
+	if p.Cursor() != 0 {
+		t.Fatalf("cursor after duplicate completions = %d, want 0 (cell 0 has %d distinct points)", p.Cursor(), nproto)
+	}
+	p.PointDone(-1)
+	p.PointDone(2 * nproto) // beyond the grid
+	if p.PointsDone() != 1 {
+		t.Fatalf("pointsDone=%d, want 1 (duplicates and bogus indexes ignored)", p.PointsDone())
+	}
+}
+
+// TestPointResultFresh: the freshness predicate matches the cache flags.
+func TestPointResultFresh(t *testing.T) {
+	res := &Result{}
+	cases := []struct {
+		pr   PointResult
+		want bool
+	}{
+		{PointResult{Result: res}, true},
+		{PointResult{Result: res, Cached: true}, false},
+		{PointResult{Result: res, Deduped: true}, false},
+		{PointResult{Err: context.Canceled}, false},
+		{PointResult{}, false},
+	}
+	for i, tc := range cases {
+		if got := tc.pr.Fresh(); got != tc.want {
+			t.Errorf("case %d: Fresh() = %v, want %v", i, got, tc.want)
+		}
+	}
+}
