@@ -39,9 +39,13 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,14 +55,64 @@ import (
 	"lsnuma/internal/version"
 )
 
+// quantumFlag is the -quantum value: a plain integer sets the default
+// deficit-round-robin quantum, and repeatable tenant=N forms set
+// per-tenant overrides (weighted DRR).
+//
+//	-quantum 8 -quantum gold=16 -quantum best-effort=4
+type quantumFlag struct {
+	def int
+	per map[string]int
+}
+
+func (q *quantumFlag) String() string {
+	parts := []string{}
+	if q == nil {
+		return ""
+	}
+	if q.def != 0 {
+		parts = append(parts, strconv.Itoa(q.def))
+	}
+	names := make([]string, 0, len(q.per))
+	for name := range q.per {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, q.per[name]))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (q *quantumFlag) Set(s string) error {
+	if name, val, ok := strings.Cut(s, "="); ok {
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 || name == "" {
+			return fmt.Errorf("want tenant=N with N >= 1, got %q", s)
+		}
+		if q.per == nil {
+			q.per = make(map[string]int)
+		}
+		q.per[name] = n
+		return nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return fmt.Errorf("want a non-negative integer or tenant=N, got %q", s)
+	}
+	q.def = n
+	return nil
+}
+
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8347", "listen address")
 		jobs         = flag.Int("jobs", 2, "concurrent job slots")
 		queue        = flag.Int("queue", 8, "admission queue depth (beyond it: 429 + Retry-After)")
 		tenantQueue  = flag.Int("tenant-queue", 0, "per-tenant queue depth (0 = same as -queue)")
-		quantum      = flag.Int("quantum", 0, "deficit-round-robin quantum in points (0 = default 8)")
+		quantum      quantumFlag
 		retrySeed    = flag.Duration("retry-seed", 0, "assumed job duration for Retry-After before the first job completes (0 = 1s)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); bind loopback unless you mean to expose it")
 		stateDir     = flag.String("state-dir", "", "journal accepted jobs under this directory and replay incomplete ones on startup (implies a result cache at <state-dir>/cache unless -cache-dir or -no-cache overrides)")
 		parallelism  = flag.Int("j", 0, "per-job simulation parallelism (0 = all cores)")
 		pointTimeout = flag.Duration("point-timeout", 0, "per-point wall clock ceiling (0 = none); requests may lower it, never raise it")
@@ -68,6 +122,7 @@ func main() {
 		noCache      = flag.Bool("no-cache", false, "disable the persistent cache even if -cache/-cache-dir is given (single-flight dedup stays on)")
 		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
+	flag.Var(&quantum, "quantum", "deficit-round-robin quantum in points (0 = default 8); repeatable tenant=N forms weight individual tenants (e.g. -quantum 8 -quantum gold=16)")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.String("lsnumad"))
@@ -103,7 +158,8 @@ func main() {
 		MaxJobs:          *jobs,
 		QueueDepth:       *queue,
 		TenantQueueDepth: *tenantQueue,
-		Quantum:          *quantum,
+		Quantum:          quantum.def,
+		TenantQuanta:     quantum.per,
 		RetrySeed:        *retrySeed,
 		Journal:          jn,
 		Parallelism:      *parallelism,
@@ -115,6 +171,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lsnumad: replaying %d incomplete job(s) from %s\n", n, *stateDir)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Profiling endpoints live on their own listener so they are never
+	// reachable through the job-serving address. A host-less address
+	// (":6060") binds loopback only; exposing the profiler beyond the
+	// machine takes an explicit host.
+	if *pprofAddr != "" {
+		pa := *pprofAddr
+		if strings.HasPrefix(pa, ":") {
+			pa = "127.0.0.1" + pa
+		}
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "lsnumad: pprof listening on %s\n", pa)
+			if err := http.ListenAndServe(pa, pm); err != nil {
+				fmt.Fprintf(os.Stderr, "lsnumad: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

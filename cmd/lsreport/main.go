@@ -44,6 +44,7 @@ var (
 	dirfmtFlag   = flag.String("dirformat", "", "directory wire format for every point: full (default), limited:i, or coarse:K")
 	shardsFlag   = flag.Int("shards", 0, "parallel scheduler home shards (0 = GOMAXPROCS)")
 	lookFlag     = flag.Uint64("lookahead", 0, "parallel scheduler safe-window cap in cycles (0 = uncapped)")
+	fuseFlag     = flag.Uint64("fuse", 0, "parallel scheduler fused-streak op cap (0 = default 1024; 1 disables fusion)")
 	cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	mutexprofile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
@@ -204,6 +205,7 @@ func robust(cfg lsnuma.Config) lsnuma.Config {
 	cfg.Scheduler = *schedFlag
 	cfg.Shards = *shardsFlag
 	cfg.Lookahead = *lookFlag
+	cfg.Fuse = *fuseFlag
 	cfg.DirFormat = *dirfmtFlag
 	return cfg
 }

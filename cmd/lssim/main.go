@@ -46,6 +46,7 @@ func main() {
 		dirformat    = flag.String("dirformat", "", "directory wire format: full (default), limited:i, or coarse:K")
 		shards       = flag.Int("shards", 0, "parallel scheduler home shards (0 = GOMAXPROCS)")
 		lookahead    = flag.Uint64("lookahead", 0, "parallel scheduler safe-window cap in cycles (0 = uncapped)")
+		fuse         = flag.Uint64("fuse", 0, "parallel scheduler fused-streak op cap (0 = default 1024; 1 disables fusion)")
 		checkLevel   = flag.String("check", "off", "online coherence invariant checking: off, touched, full")
 		faults       = flag.String("faults", "", "inject protocol/message faults: class[@arg][:seed],... (see lsnuma.Config.Faults)")
 		mshrs        = flag.Int("mshrs", 0, "per-home directory transaction buffers (0 = unlimited)")
@@ -92,6 +93,7 @@ func main() {
 	cfg.Scheduler = *scheduler
 	cfg.Shards = *shards
 	cfg.Lookahead = *lookahead
+	cfg.Fuse = *fuse
 	cfg.DirFormat = *dirformat
 	if cfg.Check, err = lsnuma.ParseCheckLevel(*checkLevel); err != nil {
 		fatal(err)

@@ -51,6 +51,7 @@ func main() {
 		scheduler    = flag.String("scheduler", "", "scheduler for every cell: runahead (default), serial, or parallel")
 		shards       = flag.Int("shards", 0, "parallel scheduler home shards (0 = GOMAXPROCS)")
 		lookahead    = flag.Uint64("lookahead", 0, "parallel scheduler safe-window cap in cycles (0 = uncapped)")
+		fuse         = flag.Uint64("fuse", 0, "parallel scheduler fused-streak op cap (0 = default 1024; 1 disables fusion)")
 		cpus         = flag.Int("cpus", 0, "processor count for every cell (0 = workload default; the nodes sweep overrides this)")
 		dirformat    = flag.String("dirformat", "", "directory wire format: full (default), limited:i, or coarse:K")
 		cacheFlag    = flag.Bool("cache", false, "memoize point results in the persistent result cache (default dir .lscache)")
@@ -99,6 +100,7 @@ func main() {
 	base.Scheduler = *scheduler
 	base.Shards = *shards
 	base.Lookahead = *lookahead
+	base.Fuse = *fuse
 	if *cpus > 0 {
 		base.Nodes = *cpus
 	}

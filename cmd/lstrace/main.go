@@ -41,6 +41,7 @@ func main() {
 	flag.StringVar(&schedFlag, "scheduler", "", "scheduler for replay: runahead (default), serial, or parallel (capture always records serially)")
 	flag.IntVar(&shardsFlag, "shards", 0, "parallel scheduler home shards (0 = GOMAXPROCS)")
 	flag.Uint64Var(&lookFlag, "lookahead", 0, "parallel scheduler safe-window cap in cycles (0 = uncapped)")
+	flag.Uint64Var(&fuseFlag, "fuse", 0, "parallel scheduler fused-streak op cap (0 = default 1024; 1 disables fusion)")
 	flag.StringVar(&dirfmtFlag, "dirformat", "", "directory wire format: full (default), limited:i, or coarse:K")
 	flag.Parse()
 	if *showVersion {
@@ -72,6 +73,7 @@ var (
 	schedFlag  string
 	shardsFlag int
 	lookFlag   uint64
+	fuseFlag   uint64
 	dirfmtFlag string
 )
 
@@ -92,6 +94,7 @@ func buildMachine(workloadName, protoName string) (*engine.Machine, error) {
 	cfg.Scheduler = schedFlag
 	cfg.Shards = shardsFlag
 	cfg.Lookahead = lookFlag
+	cfg.Fuse = fuseFlag
 	cfg.DirFormat = dirfmtFlag
 	return lsnuma.NewEngineMachine(cfg)
 }

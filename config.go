@@ -178,6 +178,11 @@ type Config struct {
 	// reduce batch sizes; results are unaffected. Mostly a tuning and
 	// testing knob.
 	Lookahead uint64
+	// Fuse caps how many operations the parallel scheduler may service
+	// in one fused batch streak before resuming the serviced processors
+	// (zero = default 1024; 1 disables fusion). Results are identical
+	// for every value; purely an amortization/latency knob.
+	Fuse uint64
 	// Check runs the coherence invariant checker online ("" or CheckOff
 	// disables it). Checking is side-effect free: simulated Results are
 	// byte-identical with it on or off; a violation aborts the run with a
@@ -331,6 +336,7 @@ func (c Config) engineConfig() (engine.Config, error) {
 		Sched:             sched,
 		Shards:            c.Shards,
 		Lookahead:         c.Lookahead,
+		FuseLimit:         c.Fuse,
 		CheckLevel:        level,
 		CheckInterval:     c.CheckInterval,
 		FaultInjector:     injector,

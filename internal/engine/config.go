@@ -234,6 +234,13 @@ type Config struct {
 	// this is a conservativeness/debugging knob, not a correctness one.
 	// Ignored outside SchedParallel.
 	Lookahead uint64
+	// FuseLimit caps how many operations the parallel scheduler may
+	// service in one fused batch streak before it must resume the
+	// serviced processors. Zero means the default (1024); 1 disables
+	// round fusion (one sub-batch per streak). Results are byte-identical
+	// for every value — the limit only trades resume-phase amortization
+	// against streak latency. Ignored outside SchedParallel.
+	FuseLimit uint64
 	// DirFormat selects the directory's wire format: full presence map
 	// (the default and the differential oracle), limited-pointer Dir_i_B,
 	// or coarse vector. The simulator always tracks the exact sharer set,
@@ -248,7 +255,7 @@ type Config struct {
 // invalidated automatically when an engine change could alter any Result
 // field. Bump it in any PR that changes simulated timing, protocol
 // behaviour, or Result contents.
-const SchemaVersion = 7
+const SchemaVersion = 8
 
 // Validate checks the machine configuration.
 func (c Config) Validate() error {

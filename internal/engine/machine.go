@@ -428,7 +428,14 @@ func (m *Machine) Run(programs []Program) error {
 	m.serial = m.cfg.SerialSchedule || m.recorder != nil || m.cfg.Sched == SchedSerial
 	if !m.serial && m.cfg.Sched == SchedParallel && m.parallelOK() {
 		m.par = newParSched(m)
-		m.park = make(chan event)
+		if !m.par.single {
+			// A single shard runs the degenerate conch-handoff loop
+			// (scheduleParOne): processors drive scheduler steps
+			// themselves and never park with a coordinator, so the park
+			// channel stays nil and the routing below falls through to
+			// the run-ahead paths.
+			m.park = make(chan event)
+		}
 	}
 	for i, prog := range programs {
 		if prog == nil {
@@ -449,7 +456,7 @@ func (m *Machine) Run(programs []Program) error {
 				switch {
 				case r == nil:
 					if p.active {
-						if m.par != nil {
+						if m.park != nil {
 							m.park <- event{proc: p}
 							return
 						}
@@ -462,14 +469,14 @@ func (m *Machine) Run(programs []Program) error {
 					// goroutine initiated the abort itself (the drain
 					// then already ran and nobody is listening).
 					if r.(abortProgram).notify {
-						if m.par != nil && p.active {
+						if m.park != nil && p.active {
 							m.park <- event{proc: p, err: r}
 							return
 						}
 						m.events <- event{proc: p, err: r}
 					}
 				case p.active:
-					if m.par != nil {
+					if m.park != nil {
 						m.park <- event{proc: p, err: recoveredError(p.id, r)}
 						return
 					}
@@ -697,6 +704,9 @@ func (m *Machine) schedule() (err error) {
 // byte-identical to the serial scheduler's — but a processor that spins N
 // times costs one goroutine handoff instead of N.
 func (m *Machine) popServe() (next *op, ok bool) {
+	if m.par != nil {
+		m.par.rs.SerialSteps++
+	}
 	for {
 		next = m.h.pop()
 		if m.cfg.MaxCycles > 0 && next.at > m.cfg.MaxCycles {

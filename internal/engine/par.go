@@ -1,10 +1,11 @@
 // Conservative parallel discrete-event scheduler (Config.Sched ==
 // SchedParallel): directory homes — and the processors co-numbered with
-// them — are partitioned round-robin into shards, each driven by a worker
-// goroutine, and the run alternates between two kinds of steps chosen by a
-// Chandy–Misra safe-time window computed over every parked operation:
+// them — are partitioned round-robin into shards, each owned by a
+// persistent worker goroutine, and the run alternates between two kinds
+// of steps chosen by a Chandy–Misra safe-time window computed over every
+// parked operation:
 //
-//   - Batch round: when the earliest parked operation's clock lies
+//   - Batch streak: when the earliest parked operation's clock lies
 //     strictly below the window W, every parked operation with clock < W
 //     is popped and serviced concurrently by its shard's worker. W is the
 //     minimum over all parked operations of a per-operation bound: the
@@ -16,26 +17,45 @@
 //     service operations in globally ascending (clock, CPU id) order, and
 //     confined operations on the same state share a shard (and a worker,
 //     which services its batch in that same key order) — the concurrent
-//     services commute into the exact serial service order.
+//     services commute into the exact serial service order. Consecutive
+//     sub-batches are FUSED into one streak: after a sub-batch is
+//     serviced, its processors stay parked, the window is recomputed, and
+//     any further operation below both the new window and the floor — the
+//     minimum (clock, id) over serviced-but-unresumed processors, which
+//     lower-bounds their next submissions — is serviced in the same
+//     streak, amortizing the resume phase, the sequence-log replay and
+//     the checker fold over many sub-batches (Config.FuseLimit).
 //
 //   - Serial step: otherwise the coordinator services the head operation
 //     exactly as the run-ahead scheduler would (popServe: MaxCycles guard,
 //     spin re-arming and all).
 //
-// Program bodies NEVER run concurrently: after a batch round the serviced
-// processors are resumed one at a time in ascending key order, each under
-// a run-ahead lease bounded by the remaining processors' clocks, so
-// workload Go state and the engine's one-goroutine-at-a-time contract
-// (see Program) are untouched. The parallelism is confined to the pure
-// simulator state transitions, which is where the simulation spends its
-// time. Results are byte-identical to the serial and run-ahead schedulers
-// for every shard count, which the differential matrix tests enforce.
+// The workers are persistent and epoch-driven: the coordinator publishes
+// a round by storing a fresh epoch into each participating shard's atomic
+// counter; workers spin briefly (yielding) and then park on a buffered
+// channel, so a busy run never pays a channel round-trip per round. A
+// single shard degenerates further: every round trivially lands in the
+// one shard, a batch serviced sequentially in key order is exactly a
+// string of serial steps, so shards=1 runs a pure serial-step loop with
+// no window maintenance, no sequence-event buffering and no worker at
+// all — the single-core overhead floor the parbench regression guard
+// watches.
+//
+// Program bodies NEVER run concurrently: after a batch streak the
+// serviced processors are resumed one at a time in ascending key order,
+// each under a run-ahead lease bounded by the remaining processors'
+// clocks, so workload Go state and the engine's one-goroutine-at-a-time
+// contract (see Program) are untouched. The parallelism is confined to
+// the pure simulator state transitions, which is where the simulation
+// spends its time. Results are byte-identical to the serial and
+// run-ahead schedulers for every shard count and fuse limit, which the
+// differential matrix tests enforce.
 package engine
 
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"sync/atomic"
 
 	"lsnuma/internal/cache"
 	"lsnuma/internal/check"
@@ -49,23 +69,57 @@ import (
 const MaxShards = 64
 
 // seqFlushThreshold bounds how many buffered sequence events may
-// accumulate before a serial step forces a partial replay (batch rounds
-// replay on their own; a long streak of coordinator-only operations —
+// accumulate before a serial step forces a partial replay (batch streaks
+// replay on their own; a long run of coordinator-only operations —
 // e.g. every global under the resilient layer — would otherwise grow the
 // buffers without bound).
 const seqFlushThreshold = 8192
 
+// defaultFuseLimit is the Config.FuseLimit applied when the field is
+// zero: how many operations a batch streak may service before the
+// coordinator must resume and collect. Purely a liveness/latency bound —
+// any positive value is byte-identical.
+const defaultFuseLimit = 1024
+
+// parFanoutMin is the smallest multi-shard sub-batch worth dispatching to
+// the workers; below it the coordinator services the operations itself on
+// the owning shards' lanes (identical effect, no handshake). Single-shard
+// sub-batches of any size are always serviced inline: a worker round-trip
+// cannot add parallelism there.
+const parFanoutMin = 4
+
+// workerSpin and coordSpin are how many scheduler yields a worker (resp.
+// the coordinator) burns waiting for an epoch (resp. a completion) before
+// parking on its channel. Spinning through the common fast turnaround is
+// what makes rounds cheaper than the old per-round channel ping-pong;
+// parking keeps idle shards off the host CPUs.
+const (
+	workerSpin = 16
+	coordSpin  = 16
+)
+
+// stopEpoch shuts a worker down when published as its epoch.
+const stopEpoch = ^uint64(0)
+
+// Worker park states (parShard.state).
+const (
+	wkRunning uint32 = iota
+	wkParked
+)
+
 // seqEvent is one buffered classify.Sequences notification. The sequence
 // detector keeps a global logical clock, so its notifications must arrive
 // in exact serial service order; workers instead buffer them keyed by the
-// issuing operation's (clock, CPU) service key plus a per-lane issue
-// index, and the coordinator replays the global sort at quiescence
-// (Machine.replaySeq). The key is total: one operation is serviced by
-// exactly one lane, so (at, cpu) ties resolve within a single lane's idx.
+// issuing operation's (clock, CPU) service key, and the coordinator
+// replays them at quiescence with a k-way merge over the per-lane logs
+// (Machine.replaySeq). Each lane's log is already key-sorted — a lane
+// services operations in ascending key order, the global service order is
+// the serial one, and per-CPU clocks strictly increase — and a key can
+// never appear in two lanes (one operation is serviced by exactly one
+// lane), so the merge needs no tie-breaking and no global sort.
 type seqEvent struct {
 	at    uint64
 	cpu   memory.NodeID
-	idx   uint64
 	block memory.Addr
 	src   memory.Source
 	write bool
@@ -85,12 +139,14 @@ type lane struct {
 	checker *check.Checker
 	touched []memory.Addr // blocks mutated by the current operation
 
-	// buffer redirects sequence notifications into seqBuf (parallel mode,
-	// all lanes including the coordinator); curAt/curCPU hold the service
-	// key of the operation currently inside service/runInline.
+	// buffer redirects sequence notifications into seqBuf (parallel mode
+	// with more than one shard, all lanes including the coordinator);
+	// curAt/curCPU hold the service key of the operation currently inside
+	// service/runInline. seqPos is the replay cursor into seqBuf's
+	// consumed prefix, compacted after each merge pass.
 	buffer bool
 	seqBuf []seqEvent
-	seqIdx uint64
+	seqPos int
 	curAt  uint64
 	curCPU memory.NodeID
 
@@ -119,9 +175,8 @@ func (m *Machine) noteSeqRead(ln *lane, block memory.Addr, cpu memory.NodeID) {
 		return
 	}
 	ln.seqBuf = append(ln.seqBuf, seqEvent{
-		at: ln.curAt, cpu: ln.curCPU, idx: ln.seqIdx, block: block,
+		at: ln.curAt, cpu: ln.curCPU, block: block,
 	})
-	ln.seqIdx++
 }
 
 // noteSeqWrite is noteSeqRead for global-write notifications.
@@ -134,10 +189,9 @@ func (m *Machine) noteSeqWrite(ln *lane, block memory.Addr, cpu memory.NodeID, s
 		return
 	}
 	ln.seqBuf = append(ln.seqBuf, seqEvent{
-		at: ln.curAt, cpu: ln.curCPU, idx: ln.seqIdx, block: block,
+		at: ln.curAt, cpu: ln.curCPU, block: block,
 		src: src, write: true, elim: eliminated,
 	})
-	ln.seqIdx++
 }
 
 // parRes is one worker's batch outcome: the first service failure (keyed
@@ -148,16 +202,141 @@ type parRes struct {
 	cpu memory.NodeID
 }
 
-// parShard is one shard's worker state.
+// parShard is one shard's persistent worker state. The coordinator
+// publishes work by filling batch and storing a fresh round number into
+// epoch (parShard.release); the worker acknowledges by storing the same
+// number into done after servicing. Both sides spin briefly before
+// blocking: the worker parks on wake (cap 1) after flagging state, the
+// coordinator parks on the shared parSched.doneCh after flagging
+// parSched.coordParked, and each publisher re-checks the flag after its
+// own store (the classic two-flag handshake), so no wakeup can be missed
+// and stale tokens are at worst one spurious non-blocking receive.
 type parShard struct {
 	ln    *lane
 	batch []*op // this round's confined operations, in ascending key order
-	start chan struct{}
-	done  chan parRes
+	res   parRes
+
+	epoch atomic.Uint64 // round published by the coordinator
+	done  atomic.Uint64 // last round completed by the worker
+	state atomic.Uint32 // wkRunning / wkParked
+	wake  chan struct{} // cap 1; kicks a parked worker
+}
+
+// release publishes round e to the shard and reports whether it had to
+// kick a parked worker (a true channel wakeup, as opposed to a free spin
+// pickup).
+func (s *parShard) release(e uint64) bool {
+	s.epoch.Store(e)
+	if s.state.CompareAndSwap(wkParked, wkRunning) {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+		return true
+	}
+	return false
+}
+
+// await blocks the worker until a round beyond last is published,
+// spinning (with scheduler yields) before parking. A stale wake token —
+// left behind when the worker unparked itself right as the coordinator
+// kicked it — is consumed as one spurious pass through the loop.
+func (s *parShard) await(last uint64) uint64 {
+	for i := 0; i < workerSpin; i++ {
+		if e := s.epoch.Load(); e != last {
+			return e
+		}
+		runtime.Gosched()
+	}
+	for {
+		s.state.Store(wkParked)
+		if e := s.epoch.Load(); e != last {
+			s.state.Store(wkRunning)
+			return e
+		}
+		<-s.wake
+		s.state.Store(wkRunning)
+		if e := s.epoch.Load(); e != last {
+			return e
+		}
+	}
+}
+
+// shardWorker is the persistent per-shard service loop: await a round,
+// service the batch, acknowledge, signal the coordinator if it parked.
+func (m *Machine) shardWorker(s *parShard) {
+	ps := m.par
+	last := uint64(0)
+	for {
+		e := s.await(last)
+		if e == stopEpoch {
+			return
+		}
+		s.res = m.runBatch(s)
+		s.done.Store(e)
+		if ps.coordParked.Load() == 1 {
+			select {
+			case ps.doneCh <- struct{}{}:
+			default:
+			}
+		}
+		last = e
+	}
+}
+
+// waitShard blocks the coordinator until shard s acknowledges round e,
+// spinning before parking on the shared completion channel. Completions
+// from other shards and stale tokens surface as spurious wakeups; the
+// re-check after every flag store and receive keeps the handshake
+// missed-wakeup-free.
+func (m *Machine) waitShard(s *parShard, e uint64) {
+	ps := m.par
+	for i := 0; i < coordSpin; i++ {
+		if s.done.Load() == e {
+			return
+		}
+		runtime.Gosched()
+	}
+	for {
+		ps.coordParked.Store(1)
+		if s.done.Load() == e {
+			ps.coordParked.Store(0)
+			return
+		}
+		<-ps.doneCh
+		ps.coordParked.Store(0)
+		if s.done.Load() == e {
+			return
+		}
+	}
+}
+
+// RoundStats is the parallel scheduler's per-run coordination profile
+// (Machine.RoundStats): how the operations were serviced and what each
+// quiescent-point mechanism cost. The parbench harness records it next
+// to the wall-clock ratios so coordination regressions are visible in
+// BENCH_10.json, not just as noise in ns/op.
+type RoundStats struct {
+	SerialSteps  uint64 // coordinator head-of-line services (all of shards=1)
+	InlineRounds uint64 // sub-batches serviced on the coordinator goroutine
+	WorkerRounds uint64 // sub-batches dispatched to the shard workers
+	FusedRounds  uint64 // sub-batches that extended an already-open streak
+	Wakeups      uint64 // parked-worker channel kicks (spin pickups are free)
+	Replays      uint64 // sequence-log merge passes
+}
+
+// RoundStats returns the coordination counters from the machine's last
+// parallel run (zero outside parallel runs).
+func (m *Machine) RoundStats() RoundStats {
+	if m.par == nil {
+		return RoundStats{}
+	}
+	return m.par.rs
 }
 
 // parSched is the parallel scheduler's run state, built per Run.
 type parSched struct {
+	single    bool // one shard: pure serial-step loop, no workers
 	shards    []*parShard
 	nodeShard []int32            // node ID -> shard
 	shardMask []directory.Bitset // shard -> member-node bitset
@@ -175,11 +354,18 @@ type parSched struct {
 	l2Min     uint64
 	ctrlMin   uint64
 	lookahead uint64
+	fuse      uint64 // max operations per batch streak (Config.FuseLimit)
 
-	served []*op // current round's batch, globally key-sorted
-	sufAt  []uint64
-	sufID  []memory.NodeID
-	carry  []seqEvent // buffered sequence events not yet safe to replay
+	epoch       uint64        // current round number (workers key off it)
+	coordParked atomic.Uint32 // coordinator is blocked on doneCh
+	doneCh      chan struct{} // cap 1; workers kick a parked coordinator
+
+	served      []*op // current streak's operations, globally key-sorted
+	sufAt       []uint64
+	sufID       []memory.NodeID
+	replayLanes []*lane // merge scratch: lanes with pending seq events
+
+	rs RoundStats
 
 	win *parWindow // incremental safe-window state
 }
@@ -378,9 +564,10 @@ func (m *Machine) drainWinDirty() {
 // WindowStats returns the parallel scheduler's incremental-window
 // counters from the machine's last run: window reads answered, per-op
 // bound recomputations triggered by dirty events, and bound computations
-// at heap push. Zero outside parallel runs. The parbench regression guard
-// asserts recomputes scale with serviced operations (the dirty set), not
-// with rounds x parked operations.
+// at heap push. Zero outside parallel runs — and zero at shards=1, where
+// the degenerate serial-step loop never builds the window at all. The
+// parbench regression guard asserts recomputes scale with serviced
+// operations (the dirty set), not with rounds x parked operations.
 func (m *Machine) WindowStats() (rounds, recomputes, pushes uint64) {
 	if m.par == nil || m.par.win == nil {
 		return 0, 0, 0
@@ -420,6 +607,10 @@ func (m *Machine) Scheduler() string {
 // newParSched builds the per-run parallel scheduler state. The shard
 // count defaults to the host's GOMAXPROCS; any count in [1, Nodes]
 // produces byte-identical Results, so a host-dependent default is safe.
+// At a single shard none of the round machinery can ever help — every
+// batch is trivially shard-confined and a batch serviced in key order IS
+// a string of serial steps — so the window, the lanes and the worker are
+// not built at all and scheduleParOne runs the degenerate loop.
 func newParSched(m *Machine) *parSched {
 	S := m.cfg.Shards
 	if S == 0 {
@@ -434,17 +625,27 @@ func newParSched(m *Machine) *parSched {
 	if S < 1 {
 		S = 1
 	}
+	fuse := m.cfg.FuseLimit
+	if fuse == 0 {
+		fuse = defaultFuseLimit
+	}
 	ps := &parSched{
+		single:    S == 1,
 		nodeShard: make([]int32, m.cfg.Nodes),
 		wordHome:  64*m.layout.BlockSize <= m.layout.PageSize,
 		l1Min:     uint64(m.cfg.L1.AccessTime),
 		l2Min:     uint64(m.cfg.L2.AccessTime),
 		ctrlMin:   uint64(m.cfg.Timing.CtrlTime),
 		lookahead: m.cfg.Lookahead,
-		win: &parWindow{
-			homeOps:   make([][]*op, m.cfg.Nodes),
-			nodeStamp: make([]uint64, m.cfg.Nodes),
-		},
+		fuse:      fuse,
+	}
+	if ps.single {
+		return ps
+	}
+	ps.doneCh = make(chan struct{}, 1)
+	ps.win = &parWindow{
+		homeOps:   make([][]*op, m.cfg.Nodes),
+		nodeStamp: make([]uint64, m.cfg.Nodes),
 	}
 	ps.shardMask = make([]directory.Bitset, S)
 	for n := range ps.nodeShard {
@@ -465,9 +666,8 @@ func newParSched(m *Machine) *parSched {
 			ln.touched = make([]memory.Addr, 0, 8)
 		}
 		ps.shards = append(ps.shards, &parShard{
-			ln:    ln,
-			start: make(chan struct{}),
-			done:  make(chan parRes, 1),
+			ln:   ln,
+			wake: make(chan struct{}, 1),
 		})
 	}
 	return ps
@@ -655,11 +855,17 @@ func (m *Machine) runBatch(s *parShard) (res parRes) {
 	return res
 }
 
-// replaySeq gathers every lane's buffered sequence events, sorts them
-// into exact serial service order, and replays the prefix that can no
-// longer be preceded by any future event: everything strictly before the
-// earliest parked operation's key (everything, when final). The remainder
-// is carried to the next quiescent point.
+// replaySeq merges every lane's buffered sequence events into exact
+// serial service order and replays the prefix that can no longer be
+// preceded by any future event: everything strictly before the earliest
+// parked operation's key (everything, when final). The remainder stays in
+// its lane's buffer, compacted in place.
+//
+// The merge is allocation-free: each lane's buffer is already key-sorted
+// (its services are a subsequence of the globally ascending serial
+// order), a key never appears in two lanes (one operation, one lane, and
+// per-CPU clocks strictly increase), so a run-length k-way merge with
+// per-lane cursors replaces the old gather + sort.Slice + carry copy.
 func (m *Machine) replaySeq(final bool) {
 	if m.seq == nil {
 		return
@@ -669,48 +875,74 @@ func (m *Machine) replaySeq(final bool) {
 	if !final {
 		if o := m.h.min(); o != nil {
 			floorAt, floorID = o.at, o.proc.id
-		} else {
-			final = true
 		}
 	}
-	carry := ps.carry
-	gather := func(ln *lane) {
-		carry = append(carry, ln.seqBuf...)
-		ln.seqBuf = ln.seqBuf[:0]
+	lanes := ps.replayLanes[:0]
+	if len(m.coord.seqBuf) > 0 {
+		m.coord.seqPos = 0
+		lanes = append(lanes, m.coord)
 	}
-	gather(m.coord)
 	for _, s := range ps.shards {
-		gather(s.ln)
+		if len(s.ln.seqBuf) > 0 {
+			s.ln.seqPos = 0
+			lanes = append(lanes, s.ln)
+		}
 	}
-	if len(carry) == 0 {
-		ps.carry = carry
+	ps.replayLanes = lanes
+	if len(lanes) == 0 {
 		return
 	}
-	sort.Slice(carry, func(i, j int) bool {
-		a, b := carry[i], carry[j]
-		if a.at != b.at {
-			return a.at < b.at
+	ps.rs.Replays++
+	for {
+		// Pick the lane with the smallest replayable head key and the
+		// runner-up bound its run must stop at.
+		var best *lane
+		limAt, limID := floorAt, floorID
+		for _, ln := range lanes {
+			if ln.seqPos >= len(ln.seqBuf) {
+				continue
+			}
+			e := &ln.seqBuf[ln.seqPos]
+			if e.at > floorAt || (e.at == floorAt && e.cpu >= floorID) {
+				continue // at/beyond the floor; so is the rest of the lane
+			}
+			if best == nil {
+				best = ln
+				continue
+			}
+			b := &best.seqBuf[best.seqPos]
+			if e.at < b.at || (e.at == b.at && e.cpu < b.cpu) {
+				limAt, limID = b.at, b.cpu
+				best = ln
+			} else if e.at < limAt || (e.at == limAt && e.cpu < limID) {
+				limAt, limID = e.at, e.cpu
+			}
 		}
-		if a.cpu != b.cpu {
-			return a.cpu < b.cpu
+		if best == nil {
+			break
 		}
-		return a.idx < b.idx
-	})
-	cut := len(carry)
-	if !final {
-		cut = sort.Search(len(carry), func(i int) bool {
-			e := carry[i]
-			return e.at > floorAt || (e.at == floorAt && e.cpu >= floorID)
-		})
+		buf := best.seqBuf
+		i := best.seqPos
+		for i < len(buf) {
+			e := &buf[i]
+			if e.at > limAt || (e.at == limAt && e.cpu >= limID) {
+				break
+			}
+			if e.write {
+				m.seq.GlobalWrite(e.block, e.cpu, e.src, e.elim)
+			} else {
+				m.seq.GlobalRead(e.block, e.cpu)
+			}
+			i++
+		}
+		best.seqPos = i
 	}
-	for _, e := range carry[:cut] {
-		if e.write {
-			m.seq.GlobalWrite(e.block, e.cpu, e.src, e.elim)
-		} else {
-			m.seq.GlobalRead(e.block, e.cpu)
+	for _, ln := range lanes {
+		if ln.seqPos > 0 {
+			ln.seqBuf = ln.seqBuf[:copy(ln.seqBuf, ln.seqBuf[ln.seqPos:])]
+			ln.seqPos = 0
 		}
 	}
-	ps.carry = append(carry[:0], carry[cut:]...)
 }
 
 // drainPar terminates every remaining program goroutine after a parallel-
@@ -719,6 +951,8 @@ func (m *Machine) replaySeq(final bool) {
 // each panics out through submit and reports a terminal event — and any
 // processor still running its prologue is answered as it arrives. alive
 // is the number of processors that have not yet sent a terminal event.
+// Nil extras (already-resumed or in-flight slots of the streak's served
+// list) are skipped.
 func (m *Machine) drainPar(alive int, extra []*op) {
 	m.aborted = true
 	wake := func(o *op) {
@@ -755,11 +989,75 @@ func (m *Machine) drainPar(alive int, extra []*op) {
 	}
 }
 
-// scheduleParallel drives the batch-round / serial-step loop described in
-// the package comment at the top of this file. It runs on the Run
+// scheduleParOne is the one-shard degenerate of the parallel scheduler.
+// Every batch the general machinery could ever cut is confined to the
+// single shard, and a single-shard batch serviced sequentially in
+// ascending key order is indistinguishable from a string of serial steps
+// — so the window maintenance, the per-lane buffering, the sequence-log
+// replay and the worker are pure overhead and are not built at all
+// (newParSched). What remains IS the run-ahead handoff discipline, and
+// this runs it verbatim: m.park stays nil, so processors drive popServe
+// steps themselves (Proc.submit's conch path), self-wins cost zero
+// context switches, and sequence notifications flow directly into the
+// detector in exact serial order. The only residual cost over run-ahead
+// is the RoundStats bookkeeping in popServe — the parbench single-core
+// overhead guard holds the two schedulers to a ≤1.5x ratio.
+func (m *Machine) scheduleParOne() (err error) {
+	running := len(m.procs)
+	m.live = len(m.procs)
+	m.h.a = make([]*op, 0, len(m.procs))
+	defer func() {
+		if r := recover(); r != nil {
+			cpu := memory.NoNode
+			if o := m.servicing; o != nil {
+				cpu = o.proc.id
+				m.servicing = nil
+				m.h.push(o)
+			}
+			m.drain(m.live, m.h.a)
+			err = recoveredError(cpu, r)
+		}
+	}()
+
+	// Collect every processor's first operation (prologues run
+	// concurrently, exactly as under the other schedulers).
+	for running > 0 {
+		ev := <-m.events
+		running--
+		if ev.err != nil {
+			m.drain(m.live-1, m.h.a)
+			return eventError(ev)
+		}
+		if ev.op == nil {
+			m.live--
+			continue
+		}
+		m.h.push(ev.op)
+	}
+	if m.live == 0 {
+		return m.finalCheck()
+	}
+
+	// First step: service the winner and hand it the conch.
+	next, ok := m.popServe()
+	if !ok {
+		m.drain(m.live, m.h.a)
+		return fmt.Errorf("engine: CPU %d exceeded MaxCycles=%d (livelock guard)", next.proc.id, m.cfg.MaxCycles)
+	}
+	m.grantLease(next.proc)
+	next.proc.resume <- struct{}{}
+
+	return <-m.done
+}
+
+// scheduleParallel drives the batch-streak / serial-step loop described
+// in the package comment at the top of this file. It runs on the Run
 // goroutine, like scheduleSerial; processors never hold the conch.
 func (m *Machine) scheduleParallel() (err error) {
 	ps := m.par
+	if ps.single {
+		return m.scheduleParOne()
+	}
 	running := len(m.procs)
 	m.live = len(m.procs)
 	m.h.a = make([]*op, 0, len(m.procs))
@@ -777,11 +1075,7 @@ func (m *Machine) scheduleParallel() (err error) {
 	m.winTrack = true
 
 	for _, s := range ps.shards {
-		go func(s *parShard) {
-			for range s.start {
-				s.done <- m.runBatch(s)
-			}
-		}(s)
+		go m.shardWorker(s)
 	}
 	defer func() {
 		// Disarm the window hooks before anything touches the heap below:
@@ -790,7 +1084,7 @@ func (m *Machine) scheduleParallel() (err error) {
 		m.h.onPush, m.h.onPop = nil, nil
 		m.winTrack = false
 		for _, s := range ps.shards {
-			close(s.start)
+			s.release(stopEpoch)
 		}
 		m.dir.SetShared(false)
 		m.coord.buffer = false
@@ -804,7 +1098,10 @@ func (m *Machine) scheduleParallel() (err error) {
 				m.servicing = nil
 				m.h.push(o)
 			}
-			m.drainPar(m.live, nil)
+			// ps.served still lists any serviced-but-unresumed (and popped-
+			// but-unserviced) operations of an interrupted streak; resumed
+			// and in-flight slots are nil.
+			m.drainPar(m.live, ps.served)
 			err = recoveredError(cpu, r)
 		}
 	}()
@@ -839,9 +1136,9 @@ func (m *Machine) scheduleParallel() (err error) {
 		// Absorb the state changes of the previous step into the cached
 		// per-op bounds (O(events since last drain), not O(parked)).
 		m.drainWinDirty()
-		// A lone parked operation can never share a round with anything, and
-		// the singleton path below would service it on the coordinator
-		// anyway, so skip the window read entirely.
+		// A lone parked operation can never share a round with anything,
+		// and a singleton sub-batch is serviced on the coordinator anyway,
+		// so skip the window read entirely.
 		W := head.at
 		if len(m.h.a) > 1 {
 			W = m.window()
@@ -849,6 +1146,7 @@ func (m *Machine) scheduleParallel() (err error) {
 		if head.at >= W {
 			// Serial step: coordinator services the head exactly as the
 			// run-ahead scheduler would, then resumes its processor.
+			// (popServe counts it in RoundStats.SerialSteps.)
 			next, ok := m.popServe()
 			if !ok {
 				m.drainPar(m.live, nil)
@@ -872,49 +1170,107 @@ func (m *Machine) scheduleParallel() (err error) {
 			continue
 		}
 
-		// Batch round: pop everything below W (already in ascending key
-		// order) and fan it out to the shard workers.
+		// Batch streak: cut a sub-batch of everything below W, service it
+		// without resuming anyone, absorb its effects, recompute the
+		// window — additionally capped by the floor, the minimum
+		// (clock, id) over serviced-but-unresumed processors, which
+		// lower-bounds every submission they can make once resumed — and
+		// keep cutting until the window closes or the fuse limit trips.
+		// Sub-batch keys ascend across sub-rounds (each later cut draws
+		// ops the earlier window excluded), so ps.served stays globally
+		// key-sorted and the single resume phase below remains the exact
+		// serial resume order.
 		ps.served = ps.served[:0]
-		for o := m.h.min(); o != nil && o.at < W; o = m.h.min() {
-			m.h.pop()
-			ps.served = append(ps.served, o)
-		}
-		if len(ps.served) == 1 {
-			// Singleton batch: a worker round-trip buys nothing, so the
-			// coordinator services it directly (same lane discipline —
-			// buffered sequence events, keyed service — as a worker; a
-			// panic flows to the deferred recover, which re-pushes the
-			// in-flight operation and drains, exactly like a serial step).
-			m.service(m.coord, ps.served[0])
-		} else {
-			for _, o := range ps.served {
-				s := ps.shards[ps.nodeShard[o.proc.id]]
-				s.batch = append(s.batch, o)
+		floorAt, floorID := ^uint64(0), memory.NodeID(m.cfg.Nodes)
+		for {
+			base := len(ps.served)
+			for o := m.h.min(); o != nil && o.at < W &&
+				(o.at < floorAt || (o.at == floorAt && o.proc.id < floorID)); o = m.h.min() {
+				m.h.pop()
+				ps.served = append(ps.served, o)
 			}
-			var firstErr error
-			var errAt uint64
-			var errCPU memory.NodeID
-			for _, s := range ps.shards {
-				if len(s.batch) > 0 {
-					s.start <- struct{}{}
+			sub := ps.served[base:]
+			if len(sub) == 0 {
+				break
+			}
+			if base > 0 {
+				ps.rs.FusedRounds++
+			}
+
+			// Dispatch policy: a sub-batch confined to one shard gains
+			// nothing from a worker (its services are sequential either
+			// way), and a tiny multi-shard one costs more in handshakes
+			// than it wins — the coordinator services those itself on the
+			// owning shards' lanes, which is observably identical to the
+			// worker path (same lanes, same scoped checkers, same order).
+			spread1 := true
+			first := ps.nodeShard[sub[0].proc.id]
+			for _, o := range sub[1:] {
+				if ps.nodeShard[o.proc.id] != first {
+					spread1 = false
+					break
 				}
 			}
-			for _, s := range ps.shards {
-				if len(s.batch) == 0 {
-					continue
+			if spread1 || len(sub) < parFanoutMin {
+				ps.rs.InlineRounds++
+				for i, o := range sub {
+					// The in-flight slot is nil while m.servicing owns the
+					// op: the recover path re-pushes m.servicing and wakes
+					// the remaining served entries, so neither may cover
+					// this op twice.
+					sub[i] = nil
+					m.servicing = o
+					m.service(ps.shards[ps.nodeShard[o.proc.id]].ln, o)
+					m.servicing = nil
+					sub[i] = o
 				}
-				res := <-s.done
-				s.batch = s.batch[:0]
-				if res.err != nil && (firstErr == nil || res.at < errAt || (res.at == errAt && res.cpu < errCPU)) {
-					firstErr, errAt, errCPU = res.err, res.at, res.cpu
+			} else {
+				ps.rs.WorkerRounds++
+				for _, o := range sub {
+					s := ps.shards[ps.nodeShard[o.proc.id]]
+					s.batch = append(s.batch, o)
+				}
+				ps.epoch++
+				for _, s := range ps.shards {
+					if len(s.batch) > 0 {
+						if s.release(ps.epoch) {
+							ps.rs.Wakeups++
+						}
+					}
+				}
+				var firstErr error
+				var errAt uint64
+				var errCPU memory.NodeID
+				for _, s := range ps.shards {
+					if len(s.batch) == 0 {
+						continue
+					}
+					m.waitShard(s, ps.epoch)
+					s.batch = s.batch[:0]
+					if res := s.res; res.err != nil &&
+						(firstErr == nil || res.at < errAt || (res.at == errAt && res.cpu < errCPU)) {
+						firstErr, errAt, errCPU = res.err, res.at, res.cpu
+					}
+				}
+				if firstErr != nil {
+					// Every batched processor is still parked (workers
+					// never resume); wake them all alongside the heap's.
+					m.drainPar(m.live, ps.served)
+					return firstErr
 				}
 			}
-			if firstErr != nil {
-				// Every batched processor is still parked (workers never
-				// resume); wake them all alongside the heap's.
-				m.drainPar(m.live, ps.served)
-				return firstErr
+
+			for _, o := range sub {
+				p := o.proc
+				if p.clock < floorAt || (p.clock == floorAt && p.id < floorID) {
+					floorAt, floorID = p.clock, p.id
+				}
 			}
+			if uint64(len(ps.served)) >= ps.fuse || m.h.min() == nil {
+				break
+			}
+			m.drainWinDirty()
+			W = m.window()
 		}
 
 		// Resume phase: wake the serviced processors one at a time in
@@ -935,7 +1291,9 @@ func (m *Machine) scheduleParallel() (err error) {
 				sufAt[i], sufID[i] = p.clock, p.id
 			}
 		}
-		for i, o := range ps.served {
+		for i := 0; i < n; i++ {
+			o := ps.served[i]
+			ps.served[i] = nil // resumed (or about to be): off the abort list
 			p := o.proc
 			p.leaseAt, p.leaseID = sufAt[i+1], sufID[i+1]
 			if h := m.h.min(); h != nil &&
@@ -945,7 +1303,7 @@ func (m *Machine) scheduleParallel() (err error) {
 			p.resume <- struct{}{}
 			ev := <-m.park
 			if ev.err != nil {
-				m.drainPar(m.live-1, ps.served[i+1:])
+				m.drainPar(m.live-1, ps.served)
 				return eventError(ev)
 			}
 			if ev.op == nil {

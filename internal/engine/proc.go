@@ -157,7 +157,14 @@ func (p *Proc) submit(o op) {
 	if p.runInline(&o) {
 		return
 	}
+	// Preserve the pending op's window-footprint scratch across
+	// submissions: the fresh o carries nil slices, and overwriting them
+	// would cost the parallel window one deps+depPos allocation per
+	// parked op (winDeref has already emptied both by the time the
+	// processor resumes and resubmits).
+	deps, depPos := p.pending.deps, p.pending.depPos
 	p.pending = o
+	p.pending.deps, p.pending.depPos = deps[:0], depPos[:0]
 	m := p.m
 	if m.serial || !p.active {
 		// Serial scheduler, or the first operation (collected centrally
@@ -170,11 +177,13 @@ func (p *Proc) submit(o op) {
 		p.active = !m.serial
 		return
 	}
-	if m.par != nil {
-		// Parallel scheduler: park with the coordinator and sleep until
-		// a batch round (or serial step) services the operation. The
-		// coordinator alone decides service order; program goroutines
-		// never drive scheduler steps here.
+	if m.park != nil {
+		// Parallel scheduler, more than one shard: park with the
+		// coordinator and sleep until a batch streak (or serial step)
+		// services the operation. The coordinator alone decides service
+		// order; program goroutines never drive scheduler steps here.
+		// (At a single shard m.park is nil and the conch handoff below
+		// runs instead — see scheduleParOne.)
 		m.park <- event{proc: p, op: &p.pending}
 		<-p.resume
 		if m.aborted {

@@ -41,11 +41,16 @@ type tenantState struct {
 // Within one tenant order stays FIFO, so a deployment with only
 // anonymous clients (everything in the default bucket) behaves exactly
 // like the old single queue.
+// Per-tenant quantum overrides (see newFairQueue) weight the service
+// rates: a tenant earning 2x the quantum per visit drains roughly twice
+// the points per round — paid tiers without starving anyone, since every
+// tenant still earns a positive deficit every pass.
 type fairQueue struct {
 	mu        sync.Mutex
-	free      int // available execution slots
-	quantum   int // deficit earned per DRR visit, in points
-	tenantCap int // per-tenant queue depth bound
+	free      int            // available execution slots
+	quantum   int            // default deficit earned per DRR visit, in points
+	quanta    map[string]int // per-tenant quantum overrides (nil = none)
+	tenantCap int            // per-tenant queue depth bound
 
 	tenants map[string]*tenantState // tenants with queued waiters
 	active  []*tenantState          // round-robin ring over tenants
@@ -53,13 +58,23 @@ type fairQueue struct {
 	depth   int                     // total queued waiters
 }
 
-func newFairQueue(slots, quantum, tenantCap int) *fairQueue {
+func newFairQueue(slots, quantum, tenantCap int, quanta map[string]int) *fairQueue {
 	return &fairQueue{
 		free:      slots,
 		quantum:   quantum,
+		quanta:    quanta,
 		tenantCap: tenantCap,
 		tenants:   make(map[string]*tenantState),
 	}
+}
+
+// quantumFor returns the deficit a named tenant earns per DRR visit:
+// its override when one is configured, the default otherwise.
+func (f *fairQueue) quantumFor(tenant string) int {
+	if q, ok := f.quanta[tenant]; ok && q > 0 {
+		return q
+	}
+	return f.quantum
 }
 
 // acquire requests a slot for a job of the given cost. Exactly one of
@@ -124,7 +139,7 @@ func (f *fairQueue) dispatch() {
 			f.rr = 0
 		}
 		ts := f.active[f.rr]
-		ts.deficit += f.quantum
+		ts.deficit += f.quantumFor(ts.name)
 		for f.free > 0 && len(ts.queue) > 0 && ts.queue[0].cost <= ts.deficit {
 			w := ts.queue[0]
 			ts.queue = ts.queue[1:]

@@ -38,7 +38,7 @@ func grantOrder(t *testing.T, f *fairQueue, waiters []*waiter, grants int) []str
 // tenant and two light tenants, grants interleave across tenants
 // instead of draining the greedy FIFO first.
 func TestFairQueueRoundRobin(t *testing.T) {
-	f := newFairQueue(1, 8, 64)
+	f := newFairQueue(1, 8, 64, nil)
 	// Occupy the only slot so everything below queues.
 	if _, granted, _ := f.acquire("greedy", 1); !granted {
 		t.Fatal("first acquire should grant immediately")
@@ -84,7 +84,7 @@ func TestFairQueueRoundRobin(t *testing.T) {
 // deficit across visits while small jobs from other tenants keep
 // flowing — bounded delay, not head-of-line blocking.
 func TestFairQueueBigJobWaits(t *testing.T) {
-	f := newFairQueue(1, 8, 64)
+	f := newFairQueue(1, 8, 64, nil)
 	if _, granted, _ := f.acquire("x", 1); !granted {
 		t.Fatal("first acquire should grant immediately")
 	}
@@ -107,10 +107,53 @@ func TestFairQueueBigJobWaits(t *testing.T) {
 	}
 }
 
+// TestFairQueueWeightedQuanta: a tenant with a 2x quantum override
+// drains roughly twice the points per DRR pass — the paid tier goes
+// faster, but the base tenant still earns a grant every round (weighted
+// fairness, not starvation).
+func TestFairQueueWeightedQuanta(t *testing.T) {
+	f := newFairQueue(1, 4, 64, map[string]int{"gold": 8})
+	if _, granted, _ := f.acquire("x", 1); !granted {
+		t.Fatal("first acquire should grant immediately")
+	}
+	// 8-point jobs against a base quantum of 4: gold's override covers a
+	// whole job per visit while base needs two visits of credit per job.
+	var waiters []*waiter
+	for i := 0; i < 4; i++ {
+		w, granted, rejected := f.acquire("gold", 8)
+		if granted || rejected {
+			t.Fatalf("gold enqueue %d: granted=%v rejected=%v", i, granted, rejected)
+		}
+		waiters = append(waiters, w)
+		w, granted, rejected = f.acquire("base", 8)
+		if granted || rejected {
+			t.Fatalf("base enqueue %d: granted=%v rejected=%v", i, granted, rejected)
+		}
+		waiters = append(waiters, w)
+	}
+
+	order := grantOrder(t, f, waiters, 6)
+	gold, base := 0, 0
+	for _, tenant := range order {
+		switch tenant {
+		case "gold":
+			gold++
+		case "base":
+			base++
+		}
+	}
+	if gold != 2*base {
+		t.Fatalf("grant order %v: gold=%d base=%d, want 2:1 weighting", order, gold, base)
+	}
+	if base == 0 {
+		t.Fatalf("grant order %v: base tenant starved by the weighted tenant", order)
+	}
+}
+
 // TestFairQueueTenantCap: a tenant at its queue cap is rejected without
 // touching other tenants, and the default bucket keeps the full cap.
 func TestFairQueueTenantCap(t *testing.T) {
-	f := newFairQueue(1, 8, 2)
+	f := newFairQueue(1, 8, 2, nil)
 	f.acquire("x", 1) // occupy the slot
 	for i := 0; i < 2; i++ {
 		if _, granted, rejected := f.acquire("a", 1); granted || rejected {
@@ -140,7 +183,7 @@ func TestFairQueueTenantCap(t *testing.T) {
 // TestFairQueueMaxTenants: distinct-tenant cardinality is bounded; a
 // flood of unique tenant names cannot grow the queue without limit.
 func TestFairQueueMaxTenants(t *testing.T) {
-	f := newFairQueue(1, 8, 8)
+	f := newFairQueue(1, 8, 8, nil)
 	f.acquire("seed", 1) // occupy the slot
 	for i := 0; i < maxTenants; i++ {
 		name := "t" + string(rune('A'+i%26)) + string(rune('a'+i/26))
@@ -161,7 +204,7 @@ func TestFairQueueMaxTenants(t *testing.T) {
 // abandoning after the grant reports the owned slot so the caller can
 // release it.
 func TestFairQueueAbandon(t *testing.T) {
-	f := newFairQueue(1, 8, 64)
+	f := newFairQueue(1, 8, 64, nil)
 	f.acquire("x", 1)
 	w1, _, _ := f.acquire("a", 1)
 	w2, _, _ := f.acquire("a", 1)

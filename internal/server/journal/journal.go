@@ -280,6 +280,42 @@ func (j *Journal) Incomplete() []Record {
 	return out
 }
 
+// Compact rewrites the state directory dropping terminal records: done
+// and failed jobs are removed from disk and from the in-memory index,
+// so a long-lived daemon's jobs/ directory holds only work that a
+// restart could still replay. Returns how many records were dropped.
+// Call at quiescent points — clean shutdown, or startup once the replay
+// set has been collected; incomplete records are never touched. A
+// record whose file cannot be removed stays indexed (it would reappear
+// on the next startup anyway) and reports the first such error.
+func (j *Journal) Compact() (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	var firstErr error
+	for id, rec := range j.recs {
+		if !rec.State.Terminal() {
+			continue
+		}
+		if err := os.Remove(filepath.Join(j.dir, id+".json")); err != nil && !os.IsNotExist(err) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("journal: compact %s: %w", id, err)
+			}
+			continue
+		}
+		delete(j.recs, id)
+		n++
+	}
+	if n > 0 {
+		// Best-effort directory fsync so the removals are durable.
+		if d, err := os.Open(j.dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return n, firstErr
+}
+
 // persistLocked writes rec to its record file: staged in a temp file
 // (fsync'd when sync — state flips must survive power loss; cursor
 // bumps need not), renamed into place. j.mu held.

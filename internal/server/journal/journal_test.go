@@ -187,3 +187,64 @@ func TestJournalRejectsBadIDs(t *testing.T) {
 		t.Error("SetProgress on unknown job accepted, want error")
 	}
 }
+
+// TestJournalCompact: compaction drops exactly the terminal records —
+// from disk and from the index — and a reopen sees only the survivors.
+func TestJournalCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range []State{StateDone, StateRunning, StateQueued, StateFailed} {
+		id := fmt.Sprintf("job-%d", i)
+		if err := j.Append(Record{ID: id, Endpoint: "point", Request: []byte(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+		if st == StateQueued {
+			continue
+		}
+		if err := j.SetState(id, StateRunning, ""); err != nil {
+			t.Fatal(err)
+		}
+		if st == StateRunning {
+			continue
+		}
+		if err := j.SetState(id, st, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	n, err := j.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("Compact = %d, want 2 (done + failed)", n)
+	}
+	if got := len(j.List()); got != 2 {
+		t.Fatalf("List after compact = %d records, want 2", got)
+	}
+	for _, id := range []string{"job-0", "job-3"} {
+		if _, ok := j.Get(id); ok {
+			t.Fatalf("%s still indexed after compaction", id)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "jobs", id+".json")); !os.IsNotExist(err) {
+			t.Fatalf("%s record file survived compaction (err=%v)", id, err)
+		}
+	}
+
+	// Idempotent: nothing terminal remains.
+	if n, err := j.Compact(); err != nil || n != 0 {
+		t.Fatalf("second Compact = (%d, %v), want (0, nil)", n, err)
+	}
+
+	// The incomplete records are untouched and still replayable.
+	j2, err := Open(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j2.Incomplete()); got != 2 {
+		t.Fatalf("Incomplete after reopen = %d, want 2", got)
+	}
+}

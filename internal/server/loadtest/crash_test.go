@@ -307,6 +307,78 @@ func TestTenantFairnessSLO(t *testing.T) {
 			t.Fatalf("greedy job %d = %d, want 200", i, status)
 		}
 	}
+
+	// 2:1 weighted quanta: a fresh one-slot daemon where the gold tenant
+	// earns twice the bronze quantum per DRR visit. Compare jobs cost
+	// three points against a bronze quantum of two, so bronze banks two
+	// visits of credit per job while gold's override covers a whole job
+	// every visit — gold's equal-sized backlog must drain roughly twice
+	// as fast, with bronze throttled but still flowing.
+	const weightedJobs = 10
+	_, wclient := newDaemon(t, server.Config{
+		MaxJobs:      1,
+		QueueDepth:   256,
+		Quantum:      2,
+		TenantQuanta: map[string]int{"gold": 4},
+		RunAll: func(ctx context.Context, points []lsnuma.Point, opt lsnuma.RunOptions) ([]lsnuma.PointResult, error) {
+			select {
+			case <-time.After(jobCost):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			out := make([]lsnuma.PointResult, len(points))
+			for i, pt := range points {
+				out[i] = lsnuma.PointResult{Point: pt, Result: &lsnuma.Result{}}
+				if opt.OnPoint != nil {
+					opt.OnPoint(i, out[i])
+				}
+			}
+			return out, nil
+		},
+	})
+	type completion struct {
+		tenant string
+		at     time.Duration
+		status int
+	}
+	done := make(chan completion, 2*weightedJobs)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for _, tenant := range []string{"gold", "bronze"} {
+		for i := 0; i < weightedJobs; i++ {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				status, err := wclient.Stream(ctx, "compare", fmt.Sprintf(`{"tenant":%q}`, tenant), func(server.StreamRecord) error { return nil })
+				if err != nil {
+					t.Errorf("%s compare job: status %d: %v", tenant, status, err)
+				}
+				done <- completion{tenant: tenant, at: time.Since(t0), status: status}
+			}(tenant)
+		}
+	}
+	wg.Wait()
+	close(done)
+	var goldSum, bronzeSum time.Duration
+	for c := range done {
+		if c.status != http.StatusOK {
+			t.Fatalf("%s job = %d, want 200", c.tenant, c.status)
+		}
+		if c.tenant == "gold" {
+			goldSum += c.at
+		} else {
+			bronzeSum += c.at
+		}
+	}
+	goldMean := goldSum / weightedJobs
+	bronzeMean := bronzeSum / weightedJobs
+	t.Logf("weighted quanta: gold mean completion %v, bronze mean %v", goldMean, bronzeMean)
+	// Ideal 2:1 weighting puts gold's mean at half of bronze's; unweighted
+	// DRR would put them equal. 0.8 splits the difference with headroom
+	// for scheduling noise.
+	if goldMean > bronzeMean*8/10 {
+		t.Errorf("gold mean completion %v vs bronze %v: want gold <= 0.8x bronze under 2:1 quanta", goldMean, bronzeMean)
+	}
 }
 
 // TestCrashRestartSIGKILL is the real thing: a built lsnumad binary,

@@ -62,6 +62,11 @@ type Config struct {
 	// scheduling round. One sweep cell's worth (len(Protocols())) or
 	// more keeps small jobs flowing past a tenant with big ones queued.
 	Quantum int
+	// TenantQuanta overrides Quantum per named tenant: a tenant earning
+	// 2x the default quantum per round drains roughly twice the points
+	// per pass (weighted DRR — paying tenants go faster without starving
+	// anyone). Non-positive entries are ignored.
+	TenantQuanta map[string]int
 	// RetrySeed seeds the Retry-After estimate before the first job
 	// completes (default 1s). A deployment running paper-scale sweeps
 	// should raise it so cold-start 429s do not invite thundering
@@ -159,7 +164,7 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		journal:  cfg.Journal,
 		logf:     cfg.Logf,
-		fq:       newFairQueue(cfg.MaxJobs, cfg.Quantum, cfg.TenantQueueDepth),
+		fq:       newFairQueue(cfg.MaxJobs, cfg.Quantum, cfg.TenantQueueDepth, cfg.TenantQuanta),
 		drainCh:  make(chan struct{}),
 		jobsCtx:  ctx,
 		stopJobs: cancel,
@@ -208,6 +213,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	defer tick.Stop()
 	for {
 		if s.fq.queueDepth() == 0 && s.inflight.Load() == 0 {
+			// Clean shutdown: every in-flight job has journaled its
+			// terminal state, so this is a quiescent point to drop the
+			// completed records from the state directory.
+			s.compactJournal()
 			return nil
 		}
 		select {
@@ -1023,10 +1032,31 @@ func (s *Server) Recover() int {
 		return 0
 	}
 	recs := s.journal.Incomplete()
+	// Startup-after-replay compaction: the replay set is collected, so
+	// every terminal record left over from previous runs can go. (The
+	// replays themselves are incomplete records — Compact never touches
+	// them.)
+	s.compactJournal()
 	for _, rec := range recs {
 		go s.replay(rec)
 	}
 	return len(recs)
+}
+
+// compactJournal drops terminal records from the journal, accounting
+// them in the compaction counter. No-op without a journal.
+func (s *Server) compactJournal() {
+	if s.journal == nil {
+		return
+	}
+	n, err := s.journal.Compact()
+	if err != nil {
+		s.logf("journal: %v", err)
+	}
+	if n > 0 {
+		s.metrics.JournalCompacted.Add(uint64(n))
+		s.logf("journal: compacted %d completed record(s)", n)
+	}
 }
 
 // replay re-runs one journaled job from its canonical request JSON. An

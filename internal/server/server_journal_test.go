@@ -130,14 +130,19 @@ func TestDrainLeavesJournaledJobQueued(t *testing.T) {
 	}
 
 	// The journal (reopened, as a restart would) must hold exactly one
-	// incomplete record — job B, still queued, never flipped to running.
+	// record — job B, still queued, never flipped to running. A's done
+	// record was compacted away by the clean drain, and the compaction
+	// was counted.
 	j2 := openJournal(t, dir)
 	inc := j2.Incomplete()
 	if len(inc) != 1 || inc[0].State != journal.StateQueued {
 		t.Fatalf("Incomplete after drain = %+v, want one queued record", inc)
 	}
-	if got := len(j2.List()); got != 2 {
-		t.Fatalf("journal has %d records, want 2 (A done, B queued)", got)
+	if got := len(j2.List()); got != 1 {
+		t.Fatalf("journal has %d records, want 1 (A compacted away, B queued)", got)
+	}
+	if got := srv.Metrics().JournalCompacted.Load(); got != 1 {
+		t.Fatalf("JournalCompacted = %d, want 1", got)
 	}
 
 	// A restarted daemon replays B to completion.
